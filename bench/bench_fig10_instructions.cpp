@@ -1,0 +1,176 @@
+// Figure 10: per-instruction-category cost in the unmodified interpreter vs acc execution.
+//
+// Categories follow the paper: Multiply, Concat, Isset, Jump, GetVal, ArraySet, Iteration,
+// Microtime, Increment, NewArray. For each we run a loop of repeated statements and report
+// nanoseconds per statement:
+//   *_Scalar          — unmodified (scalar) interpreter,
+//   *_AccUnivalent    — acc interpreter, identical inputs across the group (values collapse
+//                       to univalues, so statements execute once),
+//   *_AccMulti/N      — acc interpreter, N requests with differing inputs (statements
+//                       execute componentwise). Sweeping N exposes the paper's fixed +
+//                       marginal cost decomposition; time/N in the `per_component` counter.
+//
+// Paper shape to expect: multivalent cost is a large constant factor over scalar, and the
+// marginal per-component cost can exceed the scalar cost — SIMD-on-demand wins only
+// because almost all instructions execute univalently (§5.2).
+#include <benchmark/benchmark.h>
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+#include "src/lang/acc_interpreter.h"
+#include "src/lang/compiler.h"
+#include "src/lang/interpreter.h"
+
+using namespace orochi;
+
+namespace {
+
+constexpr int kIters = 200;   // Loop trips per program run.
+constexpr int kCopies = 10;   // Statement copies per trip.
+
+std::string MakeSource(const std::string& op_stmt) {
+  std::string body;
+  for (int i = 0; i < kCopies; i++) {
+    body += "  " + op_stmt + "\n";
+  }
+  return
+      "$a = intval(input(\"a\"));\n"
+      "$b = intval(input(\"b\"));\n"
+      "$t = input(\"t\");\n"
+      "$k = intval(input(\"k\"));\n"
+      "$arr = array(10, 20, 30, 40, 50, 60, 70, 80);\n"
+      "$small = array($a, $b, $a + 1, $b + 1);\n"
+      "$arr2 = array();\n"
+      "$x = 0;\n"
+      "$x2 = $a;\n"
+      "$s = \"\";\n"
+      "for ($i = 0; $i < " + std::to_string(kIters) + "; $i++) {\n" + body + "}\n"
+      "echo $x;\n";
+}
+
+struct Bench {
+  const char* name;
+  const char* stmt;
+  bool uses_nondet;
+};
+
+const Bench kBenches[] = {
+    {"Multiply", "$x = $a * 7;", false},
+    {"Concat", "$s = $t . \"x\";", false},
+    {"Isset", "$x = isset($a);", false},
+    {"Jump", "if ($a > 0) { $x = 1; }", false},
+    {"GetVal", "$x = $arr[$k];", false},
+    {"ArraySet", "$arr2[$k] = 1;", false},
+    {"Iteration", "foreach ($small as $v) { $x = $v; }", false},
+    {"Microtime", "$x = microtime();", true},
+    {"Increment", "$x2++;", false},
+    {"NewArray", "$y = array($a => 1);", false},
+};
+
+Program Compile(const std::string& stmt) {
+  Result<Program> prog = CompileSource(MakeSource(stmt), "/bench");
+  assert(prog.ok() && "bench program must compile");
+  return std::move(prog).value();
+}
+
+RequestParams ParamsFor(int j, bool identical) {
+  RequestParams p;
+  int v = identical ? 3 : 3 + j;
+  p["a"] = std::to_string(v);
+  p["b"] = std::to_string(v + 1);
+  p["t"] = "tag" + std::to_string(identical ? 0 : j);
+  p["k"] = std::to_string(identical ? 2 : (j % 8));
+  return p;
+}
+
+// ---- Scalar (unmodified interpreter) ----
+void RunScalar(benchmark::State& state, const Bench& bench) {
+  Program prog = Compile(bench.stmt);
+  RequestParams params = ParamsFor(0, true);
+  int64_t ops = 0;
+  for (auto _ : state) {
+    Interpreter interp(&prog, &params);
+    int64_t tick = 0;
+    while (true) {
+      StepResult step = interp.Run();
+      if (step.kind == StepResult::Kind::kFinished) {
+        break;
+      }
+      if (step.kind == StepResult::Kind::kNondet) {
+        interp.ProvideValue(Value::Float(1.5e9 + static_cast<double>(tick++) * 1e-4));
+        continue;
+      }
+      state.SkipWithError("unexpected step");
+      return;
+    }
+    ops += kIters * kCopies;
+  }
+  state.counters["ns_per_stmt"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+// ---- Acc interpreter (univalent or multivalent depending on inputs) ----
+void RunAcc(benchmark::State& state, const Bench& bench, size_t n, bool identical) {
+  Program prog = Compile(bench.stmt);
+  std::vector<RequestParams> storage;
+  storage.reserve(n);
+  for (size_t j = 0; j < n; j++) {
+    storage.push_back(ParamsFor(static_cast<int>(j), identical));
+  }
+  std::vector<const RequestParams*> params;
+  for (const RequestParams& p : storage) {
+    params.push_back(&p);
+  }
+  int64_t ops = 0;
+  for (auto _ : state) {
+    AccInterpreter acc(&prog, params);
+    int64_t tick = 0;
+    while (true) {
+      AccStepResult step = acc.Run();
+      if (step.kind == AccStepResult::Kind::kFinished) {
+        break;
+      }
+      if (step.kind == AccStepResult::Kind::kNondet) {
+        std::vector<Value> vals;
+        for (size_t j = 0; j < n; j++) {
+          double v = 1.5e9 + static_cast<double>(tick) * 1e-4 +
+                     (identical ? 0.0 : static_cast<double>(j) * 1e-7);
+          vals.push_back(Value::Float(v));
+        }
+        tick++;
+        acc.ProvideValues(std::move(vals));
+        continue;
+      }
+      state.SkipWithError("unexpected acc step");
+      return;
+    }
+    ops += kIters * kCopies;
+  }
+  state.counters["ns_per_stmt"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  state.counters["per_component"] = benchmark::Counter(
+      static_cast<double>(ops) * static_cast<double>(n),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const Bench& bench : kBenches) {
+    benchmark::RegisterBenchmark((std::string(bench.name) + "_Scalar").c_str(),
+                                 [&bench](benchmark::State& s) { RunScalar(s, bench); });
+    benchmark::RegisterBenchmark((std::string(bench.name) + "_AccUnivalent").c_str(),
+                                 [&bench](benchmark::State& s) { RunAcc(s, bench, 8, true); });
+    for (size_t n : {2, 8, 32}) {
+      benchmark::RegisterBenchmark(
+          (std::string(bench.name) + "_AccMulti/" + std::to_string(n)).c_str(),
+          [&bench, n](benchmark::State& s) { RunAcc(s, bench, n, false); });
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Ablation (§3.5, §A.8): CreateTimePrecedenceGraph — the streaming frontier algorithm —
+// against a quadratic reference that connects every finished request to every later
+// arrival (what a naive encoding of <Tr does before transitive reduction).
+//
+// The frontier algorithm runs in O(X + Z) and emits the *minimum* edge set (Lemma 12);
+// the table shows edges and time as concurrency (the number of in-flight requests) grows.
+#include <cstdio>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/timer.h"
+#include "src/core/time_precedence.h"
+
+using namespace orochi;
+
+namespace {
+
+// A synthetic balanced trace with ~P requests in flight at any time.
+Trace MakeTrace(size_t num_requests, size_t concurrency, uint64_t seed) {
+  Rng rng(seed);
+  Trace trace;
+  std::vector<RequestId> open;
+  RequestId next = 1;
+  while (next <= num_requests || !open.empty()) {
+    bool can_open = next <= num_requests;
+    bool must_close = open.size() >= concurrency || !can_open;
+    if (must_close || (open.size() > 1 && rng.Chance(0.4))) {
+      size_t pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(open.size()) - 1));
+      TraceEvent e;
+      e.kind = TraceEvent::Kind::kResponse;
+      e.rid = open[pick];
+      trace.events.push_back(std::move(e));
+      open.erase(open.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      TraceEvent e;
+      e.kind = TraceEvent::Kind::kRequest;
+      e.rid = next;
+      e.script = "/x";
+      trace.events.push_back(std::move(e));
+      open.push_back(next);
+      next++;
+    }
+  }
+  return trace;
+}
+
+// Naive edge construction: every response connects to every subsequent arrival whose
+// request comes later (pairwise <Tr edges, no reduction). Counts edges only — materializing
+// them at scale would be the memory blow-up the frontier algorithm avoids.
+size_t NaiveEdgeCount(const Trace& trace) {
+  size_t finished = 0;
+  size_t edges = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEvent::Kind::kResponse) {
+      finished++;
+    } else {
+      edges += finished;  // Every finished request precedes this arrival.
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("CreateTimePrecedenceGraph (Fig. 6): frontier vs naive pairwise edges\n");
+  std::printf("%10s %8s | %12s %12s | %10s %12s\n", "requests", "conc", "frontier-Z",
+              "naive-Z", "time(ms)", "edges/req");
+  std::printf("--------------------------------------------------------------------------\n");
+  for (size_t concurrency : {1, 4, 16, 64, 256}) {
+    size_t n = 50000;
+    Trace trace = MakeTrace(n, concurrency, 42 + concurrency);
+    WallTimer timer;
+    TimePrecedenceGraph g = CreateTimePrecedenceGraph(trace);
+    double ms = timer.Seconds() * 1e3;
+    size_t naive = NaiveEdgeCount(trace);
+    std::printf("%10zu %8zu | %12zu %12zu | %10.2f %12.2f\n", n, concurrency, g.num_edges,
+                naive, ms, static_cast<double>(g.num_edges) / static_cast<double>(n));
+  }
+  std::printf("\npaper shape: frontier edge count grows ~X*P/2 for worst-case epochs but "
+              "stays the minimum set;\nnaive pairwise edges grow ~X^2 and are infeasible "
+              "to materialize\n");
+  return 0;
+}

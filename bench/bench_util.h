@@ -1,0 +1,92 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's tables/figures.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/timer.h"
+#include "src/objects/reports.h"
+#include "src/objects/trace.h"
+#include "src/server/collector.h"
+#include "src/server/server_core.h"
+#include "src/server/thread_server.h"
+#include "src/workload/workloads.h"
+
+namespace orochi {
+
+// OROCHI_BENCH_SCALE multiplies request counts (default 1.0); benches stay tractable on
+// small machines and can be scaled up to paper-size workloads.
+inline double BenchScale() {
+  const char* env = std::getenv("OROCHI_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t n) { return static_cast<size_t>(static_cast<double>(n) * BenchScale()); }
+
+struct ServedRun {
+  Trace trace;
+  Reports reports;
+  double server_cpu_seconds = 0;  // CPU spent inside request handling.
+  double wall_seconds = 0;
+};
+
+// Serves the workload with or without report recording and returns trace/reports plus the
+// server-side CPU cost (the Figure 8 "server CPU overhead" numerator/denominator).
+inline ServedRun ServeForBench(const Workload& w, bool record, int workers = 4) {
+  ServedRun out;
+  ServerCore core(&w.app, w.initial, ServerOptions{.record_reports = record});
+  Collector collector;
+  WallTimer wall;
+  {
+    ThreadServer server(&core, &collector, workers);
+    RequestId rid = 1;
+    for (const WorkItem& item : w.items) {
+      server.Submit(rid++, item.script, item.params);
+    }
+    server.Drain();
+  }
+  out.wall_seconds = wall.Seconds();
+  out.trace = collector.TakeTrace();
+  out.reports = core.TakeReports();
+  out.server_cpu_seconds = core.TotalCpuSeconds();
+  return out;
+}
+
+// Workload presets shared by the macro benchmarks: paper-shaped mixes at bench-friendly
+// sizes (use OROCHI_BENCH_SCALE=3.3 for paper-scale request counts).
+inline Workload BenchWiki() {
+  WikiConfig config;
+  config.num_pages = 200;
+  config.num_users = 100;
+  config.num_requests = Scaled(6000);
+  return MakeWikiWorkload(config);
+}
+
+inline Workload BenchForum() {
+  ForumConfig config;
+  config.num_topics = 8;
+  config.num_users = 83;
+  config.num_requests = Scaled(9000);
+  return MakeForumWorkload(config);
+}
+
+inline Workload BenchConf() {
+  ConfConfig config;
+  config.num_papers = Scaled(100);
+  config.num_reviewers = 30;
+  config.reviews_target = Scaled(300);
+  config.review_length = 1200;
+  config.max_updates_per_paper = 20;
+  config.views_per_reviewer = Scaled(150);
+  return MakeConfWorkload(config);
+}
+
+}  // namespace orochi
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,131 @@
+// Domain example: the forum (phpBB-style) workload under a gauntlet of misbehaving
+// executors. Every tamper models a real attack from the paper's threat model — lying about
+// responses, about the operation order, about op counts, about non-determinism — and each
+// must flip the verdict to REJECT while the honest run ACCEPTs.
+#include <cstdio>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/core/auditor.h"
+#include "src/server/collector.h"
+#include "src/server/tamper.h"
+#include "src/server/thread_server.h"
+#include "src/workload/workloads.h"
+
+using namespace orochi;
+
+namespace {
+
+struct Scenario {
+  std::string name;
+  std::function<bool(Trace*, Reports*)> apply;  // Returns false if inapplicable.
+};
+
+}  // namespace
+
+int main() {
+  ForumConfig config;
+  config.num_topics = 5;
+  config.num_users = 12;
+  config.num_requests = 800;
+  Workload w = MakeForumWorkload(config);
+
+  ServerCore core(&w.app, w.initial, ServerOptions{.record_reports = true});
+  Collector collector;
+  {
+    ThreadServer server(&core, &collector, 4);
+    RequestId rid = 1;
+    for (const WorkItem& item : w.items) {
+      server.Submit(rid++, item.script, item.params);
+    }
+    server.Drain();
+  }
+  Trace honest_trace = collector.TakeTrace();
+  Reports honest_reports = core.TakeReports();
+
+  Auditor auditor(&w.app);
+  AuditResult honest = auditor.Audit(honest_trace, honest_reports, w.initial);
+  std::printf("honest run: %s\n", honest.accepted ? "ACCEPT" : "REJECT");
+  if (!honest.accepted) {
+    std::printf("  %s\n", honest.reason.c_str());
+    return 1;
+  }
+
+  // Find a db-log index and a register-log index for log-level tampers.
+  int db_obj = honest_reports.FindObject(ObjectKind::kDb, "");
+  size_t db_len = db_obj >= 0 ? honest_reports.op_logs[static_cast<size_t>(db_obj)].size() : 0;
+
+  std::vector<Scenario> scenarios = {
+      {"forged response body",
+       [](Trace* t, Reports*) { return TamperResponseBody(t, 3, "<html>hacked</html>"); }},
+      {"responses swapped between two requests",
+       [](Trace* t, Reports*) { return SwapResponseBodies(t, 2, 9); }},
+      {"db log entries reordered",
+       [&](Trace*, Reports* r) {
+         return db_len >= 2 && SwapLogEntries(r, static_cast<size_t>(db_obj), 0, db_len / 2);
+       }},
+      {"db log entry dropped",
+       [&](Trace*, Reports* r) {
+         return db_len >= 1 && DropLogEntry(r, static_cast<size_t>(db_obj), db_len / 3);
+       }},
+      {"op count understated",
+       [](Trace*, Reports* r) {
+         for (auto& [rid, m] : r->op_counts) {
+           if (m > 0) {
+             return TamperOpCount(r, rid, m - 1);
+           }
+         }
+         return false;
+       }},
+      {"op count overstated",
+       [](Trace*, Reports* r) {
+         for (auto& [rid, m] : r->op_counts) {
+           if (m > 0) {
+             return TamperOpCount(r, rid, m + 1);
+           }
+         }
+         return false;
+       }},
+      {"request moved to a wrong control-flow group",
+       [](Trace*, Reports* r) {
+         if (r->groups.size() < 2) {
+           return false;
+         }
+         auto first = r->groups.begin();
+         auto second = std::next(first);
+         return MoveRequestToGroup(r, first->second[0], second->first);
+       }},
+      {"recorded time() value rewound",
+       [](Trace*, Reports* r) {
+         for (auto& [rid, records] : r->nondet) {
+           for (size_t i = 0; i < records.size(); i++) {
+             if (records[i].name == "time") {
+               return TamperNondet(r, rid, i, Value::Int(1));
+             }
+           }
+         }
+         return false;
+       }},
+  };
+
+  int failures = 0;
+  for (const Scenario& scenario : scenarios) {
+    Trace trace = honest_trace;
+    Reports reports = honest_reports;
+    if (!scenario.apply(&trace, &reports)) {
+      std::printf("%-45s -> (not applicable to this run)\n", scenario.name.c_str());
+      continue;
+    }
+    AuditResult result = auditor.Audit(trace, reports, w.initial);
+    bool ok = !result.accepted;
+    if (!ok) {
+      failures++;
+    }
+    std::printf("%-45s -> %s%s\n", scenario.name.c_str(),
+                result.accepted ? "ACCEPT" : "REJECT", ok ? "" : "   <-- MISSED ATTACK");
+  }
+  std::printf("%s\n", failures == 0 ? "all tampers detected" : "some tampers were missed");
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+// Hashing utilities: FNV-1a for strings, splitmix-style mixing for control-flow digests.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace orochi {
+
+// 64-bit FNV-1a over a byte string. Deterministic across platforms, used for control-flow
+// digests and query-text fingerprints.
+inline uint64_t FnvHash(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// splitmix64 finalizer; a strong 64-bit mixing function.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) { return Mix64(seed ^ (v + 0x9e3779b9)); }
+
+}  // namespace orochi
+
+#endif  // SRC_COMMON_HASH_H_

@@ -1,0 +1,79 @@
+// Lightweight expected-like result type used throughout the library instead of exceptions.
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace orochi {
+
+// Result<T> carries either a value of type T or an error message. The library avoids
+// exceptions (per the style guide); fallible operations return Result and callers branch on
+// ok().
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value keeps call sites terse: `return parsed;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  static Result Error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return error_;
+  }
+
+ private:
+  Result() = default;
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+// Result specialization for operations that produce no value.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.error_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,82 @@
+// Deterministic pseudo-random utilities for workload generation and property tests.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace orochi {
+
+// Thin wrapper over mt19937_64 with convenience samplers. Seeded explicitly so that
+// workloads and property tests are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(gen_);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return std::uniform_real_distribution<double>(0.0, 1.0)(gen_); }
+
+  // Bernoulli trial with probability p of true.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  // Exponential inter-arrival sample with the given rate (events per unit time).
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+// Zipf sampler over {0, ..., n-1} with exponent beta: P(k) proportional to 1/(k+1)^beta.
+// Used to reproduce the paper's Wikipedia-derived page popularity (beta = 0.53, §5).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double beta) : cdf_(n) {
+    assert(n > 0);
+    double sum = 0.0;
+    for (size_t k = 0; k < n; k++) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), beta);
+      cdf_[k] = sum;
+    }
+    for (size_t k = 0; k < n; k++) {
+      cdf_[k] /= sum;
+    }
+  }
+
+  size_t Sample(Rng& rng) const {
+    double u = rng.UniformDouble();
+    // Binary search for the first cdf entry >= u.
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,28 @@
+// Small string helpers shared by the SQL engine, the scripting language, and the harnesses.
+#ifndef SRC_COMMON_STRINGS_H_
+#define SRC_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orochi {
+
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+// ASCII lowercase copy (SQL keywords are case-insensitive).
+std::string AsciiLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+// Formats a double with the given number of decimal places (benchmark tables).
+std::string FormatDouble(double v, int decimals);
+
+// Human-readable byte count, e.g. "7.1KB".
+std::string FormatBytes(double bytes);
+
+}  // namespace orochi
+
+#endif  // SRC_COMMON_STRINGS_H_

@@ -1,0 +1,476 @@
+#include "src/core/audit_context.h"
+
+#include <algorithm>
+
+#include "src/common/timer.h"
+#include "src/objects/db_adapter.h"
+#include "src/sql/sql_parser.h"
+
+namespace orochi {
+
+const std::vector<NondetRecord> AuditContext::kNoNondet;
+
+AuditContext::AuditContext(const Trace* trace, const Reports* reports, const Application* app,
+                           const InitialState* initial, AuditOptions options)
+    : trace_(trace), reports_(reports), app_(app), initial_(initial),
+      options_(std::move(options)) {}
+
+Status AuditContext::Prepare() {
+  {
+    ScopedAccumulator t(&stats_.other_seconds);
+    if (Status st = CheckTraceBalanced(*trace_); !st.ok()) {
+      return st;
+    }
+    for (const TraceEvent& e : trace_->events) {
+      if (e.kind == TraceEvent::Kind::kRequest) {
+        request_events_[e.rid] = &e;
+      }
+    }
+  }
+  {
+    ScopedAccumulator t(&stats_.proc_op_reports_seconds);
+    Result<ProcessedReports> processed = ProcessOpReports(*trace_, *reports_);
+    if (!processed.ok()) {
+      return Status::Error(processed.error());
+    }
+    processed_ = std::move(processed).value();
+  }
+  {
+    ScopedAccumulator t(&stats_.db_redo_seconds);
+    kv_object_ = reports_->FindObject(ObjectKind::kKv, "");
+    db_object_ = reports_->FindObject(ObjectKind::kDb, "");
+    if (Status st = BuildRegisterIndexes(); !st.ok()) {
+      return st;
+    }
+    if (Status st = BuildVersionedKv(); !st.ok()) {
+      return st;
+    }
+    if (Status st = BuildVersionedDb(); !st.ok()) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+Status AuditContext::BuildRegisterIndexes() {
+  register_writes_.resize(reports_->objects.size());
+  for (size_t i = 0; i < reports_->objects.size(); i++) {
+    if (reports_->objects[i].kind != ObjectKind::kRegister) {
+      continue;
+    }
+    const auto& log = reports_->op_logs[i];
+    for (size_t j = 0; j < log.size(); j++) {
+      if (log[j].type != StateOpType::kRegisterWrite) {
+        continue;
+      }
+      Result<Value> v = ParseRegisterWriteContents(log[j].contents);
+      if (!v.ok()) {
+        return Status::Error("register log " + std::to_string(i) + " entry " +
+                             std::to_string(j + 1) + ": " + v.error());
+      }
+      register_writes_[i].emplace_back(j + 1, std::move(v).value());
+    }
+  }
+  return Status::Ok();
+}
+
+Status AuditContext::BuildVersionedKv() {
+  versioned_kv_.LoadInitial(initial_->kv);
+  if (kv_object_ < 0) {
+    return Status::Ok();
+  }
+  const auto& log = reports_->op_logs[static_cast<size_t>(kv_object_)];
+  for (size_t j = 0; j < log.size(); j++) {
+    if (log[j].type != StateOpType::kKvSet) {
+      continue;
+    }
+    Result<KvSetContents> kv = ParseKvSetContents(log[j].contents);
+    if (!kv.ok()) {
+      return Status::Error("kv log entry " + std::to_string(j + 1) + ": " + kv.error());
+    }
+    versioned_kv_.AddSet(kv.value().key, j + 1, std::move(kv).value().value);
+  }
+  return Status::Ok();
+}
+
+Status AuditContext::BuildVersionedDb() {
+  // Initial snapshot loads at ts 0.
+  for (const std::string& table : initial_->db.TableNames()) {
+    SqlStatement create;
+    create.kind = SqlStmtKind::kCreateTable;
+    create.table = table;
+    create.columns = *initial_->db.Schema(table);
+    Result<StmtResult> rc = versioned_db_.ApplyWrite(create, 0);
+    if (!rc.ok()) {
+      return Status::Error("initial db load: " + rc.error());
+    }
+    const std::vector<SqlRow>* rows = initial_->db.Rows(table);
+    if (rows == nullptr || rows->empty()) {
+      continue;
+    }
+    SqlStatement insert;
+    insert.kind = SqlStmtKind::kInsert;
+    insert.table = table;
+    for (const ColumnDef& c : create.columns) {
+      insert.insert_columns.push_back(c.name);
+    }
+    for (const SqlRow& row : *rows) {
+      std::vector<SqlExprPtr> exprs;
+      for (const SqlValue& v : row) {
+        auto e = std::make_unique<SqlExpr>();
+        e->kind = SqlExprKind::kLiteral;
+        e->literal = v;
+        exprs.push_back(std::move(e));
+      }
+      insert.insert_rows.push_back(std::move(exprs));
+    }
+    Result<StmtResult> ri = versioned_db_.ApplyWrite(insert, 0);
+    if (!ri.ok()) {
+      return Status::Error("initial db load: " + ri.error());
+    }
+  }
+
+  if (db_object_ < 0) {
+    return Status::Ok();
+  }
+  // Redo pass (§4.5): replay every logged transaction, stamping query q of log entry s
+  // with ts = s * MAXQ + q. Claimed failures are validated where the engine permits.
+  const auto& log = reports_->op_logs[static_cast<size_t>(db_object_)];
+  db_log_parsed_.reserve(log.size());
+  for (size_t j = 0; j < log.size(); j++) {
+    uint64_t s = j + 1;
+    if (log[j].type != StateOpType::kDbOp) {
+      db_log_parsed_.emplace_back();  // Type mismatch is caught by CheckOp if referenced.
+      continue;
+    }
+    Result<DbContents> dc = ParseDbContents(log[j].contents);
+    if (!dc.ok()) {
+      return Status::Error("db log entry " + std::to_string(s) + ": " + dc.error());
+    }
+    DbContents contents = std::move(dc).value();
+    if (contents.sql.size() > VersionedDatabase::kMaxQueriesPerTxn - 1) {
+      return Status::Error("db log entry " + std::to_string(s) + ": too many statements");
+    }
+    if (!contents.success) {
+      // The executor claims this op failed/aborted. For single statements the claim is
+      // checkable exactly; multi-statement aborts are accepted as reported (§4.6 leeway:
+      // transaction aborts are a form of non-determinism).
+      if (contents.sql.size() == 1) {
+        uint64_t ts = VersionedDatabase::MakeTimestamp(s, 1);
+        Result<SqlStatement> stmt = ParseSql(contents.sql[0]);
+        if (stmt.ok()) {
+          Result<StmtResult> r =
+              stmt.value().kind == SqlStmtKind::kSelect
+                  ? versioned_db_.Select(stmt.value(), ts)
+                  : versioned_db_.ApplyWrite(stmt.value(), ts, /*commit=*/false);
+          if (r.ok()) {
+            return Status::Error("db log entry " + std::to_string(s) +
+                                 " claims failure but the statement succeeds on replay");
+          }
+        }
+      }
+      db_log_parsed_.push_back(std::move(contents));
+      continue;
+    }
+    for (size_t q = 1; q <= contents.sql.size(); q++) {
+      uint64_t ts = VersionedDatabase::MakeTimestamp(s, q);
+      Result<SqlStatement> stmt = ParseSql(contents.sql[q - 1]);
+      if (!stmt.ok()) {
+        return Status::Error("db log entry " + std::to_string(s) +
+                             " claims success but statement " + std::to_string(q) +
+                             " does not parse: " + stmt.error());
+      }
+      if (stmt.value().kind == SqlStmtKind::kSelect) {
+        continue;  // Reads re-execute during SimOp at their timestamp.
+      }
+      Result<StmtResult> r = versioned_db_.ApplyWrite(stmt.value(), ts);
+      if (!r.ok()) {
+        return Status::Error("db log entry " + std::to_string(s) +
+                             " claims success but replay fails: " + r.error());
+      }
+      redo_affected_[ts] = r.value().affected;
+    }
+    db_log_parsed_.push_back(std::move(contents));
+  }
+  return Status::Ok();
+}
+
+uint32_t AuditContext::OpCount(RequestId rid) const {
+  auto it = processed_.op_counts.find(rid);
+  return it == processed_.op_counts.end() ? 0 : it->second;
+}
+
+const TraceEvent* AuditContext::RequestEvent(RequestId rid) const {
+  auto it = request_events_.find(rid);
+  return it == request_events_.end() ? nullptr : it->second;
+}
+
+Result<OpLocation> AuditContext::CheckOp(RequestId rid, uint32_t opnum,
+                                         const StateOpRequest& op) {
+  using R = Result<OpLocation>;
+  stats_.ops_checked++;
+  OpLocation loc = processed_.op_map.Find(rid, opnum);
+  if (!loc.valid()) {
+    return R::Error("CheckOp: (rid " + std::to_string(rid) + ", opnum " +
+                    std::to_string(opnum) + ") not in OpMap");
+  }
+  // The object the program targeted must be the object whose log claims this op.
+  ObjectKind kind = op.type == StateOpType::kRegisterRead ||
+                            op.type == StateOpType::kRegisterWrite
+                        ? ObjectKind::kRegister
+                        : (op.type == StateOpType::kDbOp ? ObjectKind::kDb : ObjectKind::kKv);
+  const std::string& name = kind == ObjectKind::kRegister ? op.target : std::string();
+  int expected_object = reports_->FindObject(kind, name);
+  if (expected_object < 0 || static_cast<uint32_t>(expected_object) != loc.object) {
+    return R::Error("CheckOp: object mismatch for (rid " + std::to_string(rid) + ", opnum " +
+                    std::to_string(opnum) + ")");
+  }
+  const OpRecord& entry = reports_->op_logs[loc.object][loc.seqnum - 1];
+  if (entry.type != op.type) {
+    return R::Error("CheckOp: optype mismatch");
+  }
+  switch (op.type) {
+    case StateOpType::kRegisterRead:
+      if (!entry.contents.empty()) {
+        return R::Error("CheckOp: register read has non-empty contents");
+      }
+      break;
+    case StateOpType::kRegisterWrite:
+      if (entry.contents != MakeRegisterWriteContents(op.value)) {
+        return R::Error("CheckOp: register write contents mismatch");
+      }
+      break;
+    case StateOpType::kKvGet:
+      if (entry.contents != op.key) {
+        return R::Error("CheckOp: kv get key mismatch");
+      }
+      break;
+    case StateOpType::kKvSet:
+      if (entry.contents != MakeKvSetContents(op.key, op.value)) {
+        return R::Error("CheckOp: kv set contents mismatch");
+      }
+      break;
+    case StateOpType::kDbOp: {
+      if (db_object_ < 0 || loc.object != static_cast<uint32_t>(db_object_) ||
+          loc.seqnum > db_log_parsed_.size()) {
+        return R::Error("CheckOp: db op points outside the db log");
+      }
+      const DbContents& dc = db_log_parsed_[loc.seqnum - 1];
+      if (dc.sql != op.sql || dc.is_txn != op.db_is_txn) {
+        return R::Error("CheckOp: db statements mismatch");
+      }
+      break;
+    }
+  }
+  return loc;
+}
+
+Result<std::shared_ptr<const StmtResult>> AuditContext::RunSelect(const std::string& sql,
+                                                                  uint64_t ts) {
+  using R = Result<std::shared_ptr<const StmtResult>>;
+  // Parse cache.
+  std::shared_ptr<const SqlStatement> stmt;
+  auto pit = select_parse_cache_.find(sql);
+  if (pit != select_parse_cache_.end()) {
+    stmt = pit->second;
+  } else {
+    Result<SqlStatement> parsed = ParseSql(sql);
+    if (!parsed.ok()) {
+      return R::Error(parsed.error());
+    }
+    stmt = std::make_shared<const SqlStatement>(std::move(parsed).value());
+    select_parse_cache_.emplace(sql, stmt);
+  }
+  if (stmt->kind != SqlStmtKind::kSelect) {
+    return R::Error("RunSelect: not a SELECT");
+  }
+
+  std::vector<DedupEntry>* entries = nullptr;
+  if (options_.enable_query_dedup) {
+    entries = &dedup_cache_[sql];
+    // Find the insertion position for ts, then test both neighbours: a cached result at
+    // ts' serves ts when the touched table was not modified in (min, max].
+    auto pos = std::lower_bound(entries->begin(), entries->end(), ts,
+                                [](const DedupEntry& e, uint64_t t) { return e.ts < t; });
+    auto reusable = [&](const DedupEntry& e) {
+      uint64_t lo = std::min(e.ts, ts);
+      uint64_t hi = std::max(e.ts, ts);
+      return lo == hi || !versioned_db_.TableModifiedBetween(stmt->table, lo, hi);
+    };
+    if (pos != entries->end() && reusable(*pos)) {
+      stats_.db_selects_deduped++;
+      return R(pos->result);
+    }
+    if (pos != entries->begin() && reusable(*(pos - 1))) {
+      stats_.db_selects_deduped++;
+      return R((pos - 1)->result);
+    }
+  }
+
+  stats_.db_selects_issued++;
+  ScopedAccumulator t(&stats_.db_query_seconds);
+  Result<StmtResult> r = versioned_db_.Select(*stmt, ts);
+  if (!r.ok()) {
+    return R::Error(r.error());
+  }
+  auto shared = std::make_shared<const StmtResult>(std::move(r).value());
+  if (entries != nullptr) {
+    auto pos = std::lower_bound(entries->begin(), entries->end(), ts,
+                                [](const DedupEntry& e, uint64_t t) { return e.ts < t; });
+    entries->insert(pos, {ts, shared});
+  }
+  return R(shared);
+}
+
+Result<Value> AuditContext::SimDbOp(const StateOpRequest& op, OpLocation loc) {
+  using R = Result<Value>;
+  const DbContents& dc = db_log_parsed_[loc.seqnum - 1];
+  if (!dc.success) {
+    return op.db_is_txn ? DbTxnResultToValue(false, {}) : DbQueryFailureValue();
+  }
+  std::vector<StmtResult> results;
+  results.reserve(dc.sql.size());
+  for (size_t q = 1; q <= dc.sql.size(); q++) {
+    uint64_t ts = VersionedDatabase::MakeTimestamp(loc.seqnum, q);
+    auto affected = redo_affected_.find(ts);
+    if (affected != redo_affected_.end()) {
+      StmtResult sr;
+      sr.is_rows = false;
+      sr.affected = affected->second;
+      results.push_back(std::move(sr));
+      continue;
+    }
+    // A read (or a CREATE, which records affected = 0 and is handled above).
+    Result<std::shared_ptr<const StmtResult>> r = RunSelect(dc.sql[q - 1], ts);
+    if (!r.ok()) {
+      return R::Error("db op " + std::to_string(loc.seqnum) +
+                      " claims success but read fails on replay: " + r.error());
+    }
+    results.push_back(*r.value());
+  }
+  if (op.db_is_txn) {
+    return DbTxnResultToValue(true, results);
+  }
+  return StmtResultToValue(results[0]);
+}
+
+Result<Value> AuditContext::SimOp(const StateOpRequest& op, OpLocation loc) {
+  switch (op.type) {
+    case StateOpType::kRegisterRead: {
+      // "Walk backward from s for the latest RegisterWrite" (Figure 12), over the
+      // pre-parsed per-object write index; absent writes fall back to the initial state.
+      const auto& writes = register_writes_[loc.object];
+      auto pos = std::lower_bound(
+          writes.begin(), writes.end(), static_cast<uint64_t>(loc.seqnum),
+          [](const std::pair<uint64_t, Value>& w, uint64_t s) { return w.first < s; });
+      if (pos != writes.begin()) {
+        return (pos - 1)->second;
+      }
+      auto init = initial_->registers.find(op.target);
+      return init == initial_->registers.end() ? Value::Null() : init->second;
+    }
+    case StateOpType::kKvGet:
+      return versioned_kv_.Get(op.key, loc.seqnum);
+    case StateOpType::kRegisterWrite:
+    case StateOpType::kKvSet:
+      return Value::Null();
+    case StateOpType::kDbOp:
+      return SimDbOp(op, loc);
+  }
+  return Value::Null();
+}
+
+void AuditContext::ResetNondet(RequestId rid) { nondet_cursors_[rid] = NondetCursor{}; }
+
+Result<Value> AuditContext::NextNondet(RequestId rid, const NondetRequest& req) {
+  using R = Result<Value>;
+  auto rit = reports_->nondet.find(rid);
+  const std::vector<NondetRecord>& records = rit == reports_->nondet.end() ? kNoNondet
+                                                                           : rit->second;
+  NondetCursor& cursor = nondet_cursors_[rid];
+  if (cursor.pos >= records.size()) {
+    return R::Error("nondet: rid " + std::to_string(rid) + " has no recorded value for call #" +
+                    std::to_string(cursor.pos + 1));
+  }
+  const NondetRecord& record = records[cursor.pos];
+  cursor.pos++;
+  if (record.name != req.name) {
+    return R::Error("nondet: recorded builtin '" + record.name + "' but program called '" +
+                    req.name + "'");
+  }
+  Result<Value> parsed = DeserializeValue(record.value);
+  if (!parsed.ok()) {
+    return R::Error("nondet: " + parsed.error());
+  }
+  Value v = std::move(parsed).value();
+  // Plausibility checks (§4.6): time and microtime must be monotone within the request;
+  // rand must respect its range.
+  if (req.name == "time") {
+    if (!v.is_int() || (cursor.has_last_time && v.as_int() < cursor.last_time)) {
+      return R::Error("nondet: time() value implausible for rid " + std::to_string(rid));
+    }
+    cursor.has_last_time = true;
+    cursor.last_time = v.as_int();
+  } else if (req.name == "microtime") {
+    if (!v.is_float() || (cursor.has_last_micro && v.as_float() < cursor.last_micro)) {
+      return R::Error("nondet: microtime() value implausible for rid " + std::to_string(rid));
+    }
+    cursor.has_last_micro = true;
+    cursor.last_micro = v.as_float();
+  } else if (req.name == "rand") {
+    int64_t lo = req.args.size() > 0 ? req.args[0].ToInt() : 0;
+    int64_t hi = req.args.size() > 1 ? req.args[1].ToInt() : 0;
+    if (!v.is_int() || (hi >= lo && (v.as_int() < lo || v.as_int() > hi))) {
+      return R::Error("nondet: rand() value out of range for rid " + std::to_string(rid));
+    }
+  }
+  return v;
+}
+
+Status AuditContext::CheckNondetConsumed(RequestId rid) {
+  auto rit = reports_->nondet.find(rid);
+  size_t total = rit == reports_->nondet.end() ? 0 : rit->second.size();
+  auto cit = nondet_cursors_.find(rid);
+  size_t used = cit == nondet_cursors_.end() ? 0 : cit->second.pos;
+  if (used != total) {
+    return Status::Error("nondet: rid " + std::to_string(rid) + " consumed " +
+                         std::to_string(used) + " of " + std::to_string(total) +
+                         " recorded values");
+  }
+  return Status::Ok();
+}
+
+Status AuditContext::CompareOutputs() {
+  ScopedAccumulator t(&stats_.other_seconds);
+  for (const TraceEvent& e : trace_->events) {
+    if (e.kind != TraceEvent::Kind::kResponse) {
+      continue;
+    }
+    auto it = outputs_.find(e.rid);
+    if (it == outputs_.end()) {
+      return Status::Error("output: rid " + std::to_string(e.rid) + " was never re-executed");
+    }
+    if (it->second != e.body) {
+      return Status::Error("output: rid " + std::to_string(e.rid) +
+                           " response does not match re-execution");
+    }
+  }
+  return Status::Ok();
+}
+
+InitialState AuditContext::ExtractFinalState() const {
+  InitialState out;
+  // Registers: the last logged write per register object, else the initial value.
+  out.registers = initial_->registers;
+  for (size_t i = 0; i < reports_->objects.size(); i++) {
+    if (reports_->objects[i].kind != ObjectKind::kRegister || register_writes_[i].empty()) {
+      continue;
+    }
+    out.registers[reports_->objects[i].name] = register_writes_[i].back().second;
+  }
+  out.kv = versioned_kv_.LatestSnapshot();
+  out.db = versioned_db_.LatestState();
+  return out;
+}
+
+}  // namespace orochi

@@ -1,0 +1,149 @@
+// Shared audit-time state: the OpMap, versioned stores built by the redo pass (§4.5),
+// CheckOp / SimOp (simulate-and-check, §3.3 and Figure 12), non-determinism validation
+// (§4.6), and read-query deduplication. Both the grouped SIMD-on-demand re-execution and
+// the per-request (baseline / fallback / OOO) re-executions drive this context.
+#ifndef SRC_CORE_AUDIT_CONTEXT_H_
+#define SRC_CORE_AUDIT_CONTEXT_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/process_reports.h"
+#include "src/lang/step_result.h"
+#include "src/objects/reports.h"
+#include "src/objects/stores.h"
+#include "src/objects/trace.h"
+#include "src/server/application.h"
+#include "src/sql/versioned_database.h"
+
+namespace orochi {
+
+struct AuditOptions {
+  size_t max_group_size = 3000;      // acc-PHP's group cap (§4.7).
+  bool enable_query_dedup = true;    // §4.5 read-query dedup (ablation switch).
+  InterpreterOptions interp;
+};
+
+struct AuditStats {
+  double proc_op_reports_seconds = 0;  // Figures 5/6 logic.
+  double db_redo_seconds = 0;          // Versioned-storage build.
+  double reexec_seconds = 0;           // SIMD-on-demand / per-request replay ("PHP").
+  double db_query_seconds = 0;         // SELECTs against versioned storage (inside reexec).
+  double other_seconds = 0;            // Init + output comparison + bookkeeping.
+
+  uint64_t total_instructions = 0;
+  uint64_t multivalent_instructions = 0;
+  uint64_t num_groups = 0;
+  uint64_t groups_multi = 0;     // Groups with more than one request.
+  uint64_t fallback_groups = 0;  // Groups re-executed per-request (§4.7 escape hatch).
+  uint64_t ops_checked = 0;
+  uint64_t db_selects_issued = 0;   // SELECTs actually run against versioned storage.
+  uint64_t db_selects_deduped = 0;  // SELECTs answered from the dedup cache.
+
+  struct GroupStat {
+    std::string script;
+    uint32_t n;        // Requests in the group.
+    uint64_t length;   // Instructions executed by the group (l_c in Figure 11).
+    double alpha;      // Fraction of univalent instructions (alpha_c in Figure 11).
+  };
+  std::vector<GroupStat> group_stats;
+};
+
+class AuditContext {
+ public:
+  AuditContext(const Trace* trace, const Reports* reports, const Application* app,
+               const InitialState* initial, AuditOptions options);
+
+  // Balanced-trace check, ProcessOpReports, and the versioned-storage builds. An error
+  // means the audit REJECTs with that reason.
+  Status Prepare();
+
+  // CheckOp (Figure 12 lines 10-15): validates that the program-generated op matches the
+  // unique log entry claiming (rid, opnum); returns that entry's (object, seqnum).
+  Result<OpLocation> CheckOp(RequestId rid, uint32_t opnum, const StateOpRequest& op);
+
+  // SimOp (Figure 12 lines 17-28) extended with write results: reads are fed from the
+  // logs / versioned stores; DB writes return the redo pass outcome.
+  Result<Value> SimOp(const StateOpRequest& op, OpLocation loc);
+
+  // --- Non-determinism feeding (§4.6) ---
+  // Resets the per-request cursor (re-execution is idempotent; a request may re-run).
+  void ResetNondet(RequestId rid);
+  Result<Value> NextNondet(RequestId rid, const NondetRequest& req);
+  Status CheckNondetConsumed(RequestId rid);
+
+  // M(rid) with default 0.
+  uint32_t OpCount(RequestId rid) const;
+
+  // The trace's request event for rid; nullptr when absent.
+  const TraceEvent* RequestEvent(RequestId rid) const;
+
+  const ProcessedReports& processed() const { return processed_; }
+  AuditStats& stats() { return stats_; }
+
+  // Produced-output registry (filled by the re-execution drivers).
+  void SetOutput(RequestId rid, std::string body) { outputs_[rid] = std::move(body); }
+  // Compares produced outputs against the trace's responses (the final accept check).
+  Status CompareOutputs();
+
+  // The end-of-period object state implied by the logs (kept as the next InitialState).
+  InitialState ExtractFinalState() const;
+
+ private:
+  Status BuildRegisterIndexes();
+  Status BuildVersionedKv();
+  Status BuildVersionedDb();
+
+  Result<Value> SimDbOp(const StateOpRequest& op, OpLocation loc);
+  // Executes (or dedups) one SELECT at timestamp ts.
+  Result<std::shared_ptr<const StmtResult>> RunSelect(const std::string& sql, uint64_t ts);
+
+  const Trace* trace_;
+  const Reports* reports_;
+  const Application* app_;
+  const InitialState* initial_;
+  AuditOptions options_;
+
+  ProcessedReports processed_;
+  std::unordered_map<RequestId, const TraceEvent*> request_events_;
+
+  // Per-register-object parsed write sequences: (seqnum, value), ascending.
+  std::vector<std::vector<std::pair<uint64_t, Value>>> register_writes_;
+  VersionedKv versioned_kv_;
+  VersionedDatabase versioned_db_;
+  int kv_object_ = -1;
+  int db_object_ = -1;
+
+  // Parsed DB log entries (per seqnum-1) and redo outcomes for write statements (by ts).
+  std::vector<DbContents> db_log_parsed_;
+  std::unordered_map<uint64_t, int64_t> redo_affected_;
+
+  // SELECT parse + dedup caches.
+  std::unordered_map<std::string, std::shared_ptr<const SqlStatement>> select_parse_cache_;
+  struct DedupEntry {
+    uint64_t ts;
+    std::shared_ptr<const StmtResult> result;
+  };
+  std::unordered_map<std::string, std::vector<DedupEntry>> dedup_cache_;  // Sorted by ts.
+
+  // Nondet cursors and monotonicity state.
+  struct NondetCursor {
+    size_t pos = 0;
+    bool has_last_time = false;
+    int64_t last_time = 0;
+    bool has_last_micro = false;
+    double last_micro = 0;
+  };
+  std::unordered_map<RequestId, NondetCursor> nondet_cursors_;
+  static const std::vector<NondetRecord> kNoNondet;
+
+  std::unordered_map<RequestId, std::string> outputs_;
+  AuditStats stats_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_CORE_AUDIT_CONTEXT_H_

@@ -1,0 +1,276 @@
+#include "src/core/auditor.h"
+
+#include <algorithm>
+
+#include "src/common/timer.h"
+#include "src/lang/acc_interpreter.h"
+
+namespace orochi {
+
+Auditor::Auditor(const Application* app, AuditOptions options)
+    : app_(app), options_(std::move(options)) {}
+
+Status Auditor::ReplaySingleRequest(AuditContext* ctx, RequestId rid) {
+  const TraceEvent* req = ctx->RequestEvent(rid);
+  if (req == nullptr) {
+    return Status::Error("re-exec: rid " + std::to_string(rid) + " is not in the trace");
+  }
+  const Program* prog = app_->GetScript(req->script);
+  if (prog == nullptr) {
+    if (ctx->OpCount(rid) != 0) {
+      return Status::Error("re-exec: rid " + std::to_string(rid) +
+                           " targets an unknown script but claims operations");
+    }
+    ctx->SetOutput(rid, kNoSuchScriptBody);
+    return Status::Ok();
+  }
+  ctx->ResetNondet(rid);
+  Interpreter interp(prog, &req->params, options_.interp);
+  uint32_t opnum = 0;
+  std::string body;
+  while (true) {
+    StepResult step = interp.Run();
+    if (step.kind == StepResult::Kind::kFinished) {
+      body = interp.output();
+      break;
+    }
+    if (step.kind == StepResult::Kind::kError) {
+      body = interp.output() + "\n[error] " + step.error;
+      break;
+    }
+    if (step.kind == StepResult::Kind::kStateOp) {
+      opnum++;
+      Result<OpLocation> loc = ctx->CheckOp(rid, opnum, step.op);
+      if (!loc.ok()) {
+        return Status::Error(loc.error());
+      }
+      Result<Value> v = ctx->SimOp(step.op, loc.value());
+      if (!v.ok()) {
+        return Status::Error(v.error());
+      }
+      interp.ProvideValue(std::move(v).value());
+      continue;
+    }
+    Result<Value> v = ctx->NextNondet(rid, step.nondet);
+    if (!v.ok()) {
+      return Status::Error(v.error());
+    }
+    interp.ProvideValue(std::move(v).value());
+  }
+  if (opnum != ctx->OpCount(rid)) {
+    return Status::Error("re-exec: rid " + std::to_string(rid) + " issued " +
+                         std::to_string(opnum) + " ops but M(rid) = " +
+                         std::to_string(ctx->OpCount(rid)));
+  }
+  if (Status st = ctx->CheckNondetConsumed(rid); !st.ok()) {
+    return st;
+  }
+  ctx->stats().total_instructions += interp.instructions_executed();
+  ctx->SetOutput(rid, std::move(body));
+  return Status::Ok();
+}
+
+Status Auditor::RunGroupChunk(AuditContext* ctx, const Program* prog,
+                              const std::vector<RequestId>& rids) {
+  const size_t n = rids.size();
+  std::vector<const RequestParams*> params(n);
+  for (size_t j = 0; j < n; j++) {
+    const TraceEvent* req = ctx->RequestEvent(rids[j]);
+    if (req == nullptr) {
+      return Status::Error("group re-exec: rid " + std::to_string(rids[j]) +
+                           " is not in the trace");
+    }
+    params[j] = &req->params;
+    ctx->ResetNondet(rids[j]);
+  }
+
+  AccInterpreter acc(prog, std::move(params), options_.interp);
+  uint32_t opnum = 0;
+  while (true) {
+    AccStepResult step = acc.Run();
+    switch (step.kind) {
+      case AccStepResult::Kind::kFinished:
+      case AccStepResult::Kind::kError: {
+        // Figure 12 step (3): each request must have issued exactly M(rid) operations.
+        // (A uniform trap is a deterministic end of the group; its op-count discipline is
+        // the same.)
+        for (size_t j = 0; j < n; j++) {
+          if (opnum != ctx->OpCount(rids[j])) {
+            return Status::Error("group re-exec: rid " + std::to_string(rids[j]) +
+                                 " issued " + std::to_string(opnum) + " ops but M(rid) = " +
+                                 std::to_string(ctx->OpCount(rids[j])));
+          }
+          if (Status st = ctx->CheckNondetConsumed(rids[j]); !st.ok()) {
+            return st;
+          }
+          std::string body = acc.outputs()[j];
+          if (step.kind == AccStepResult::Kind::kError) {
+            body += "\n[error] " + step.error;
+          }
+          ctx->SetOutput(rids[j], std::move(body));
+        }
+        ctx->stats().total_instructions += acc.total_instructions();
+        ctx->stats().multivalent_instructions += acc.multivalent_instructions();
+        uint64_t len = acc.total_instructions();
+        ctx->stats().group_stats.push_back(
+            {prog->script_name, static_cast<uint32_t>(n), len,
+             len == 0 ? 1.0
+                      : 1.0 - static_cast<double>(acc.multivalent_instructions()) /
+                                  static_cast<double>(len)});
+        return Status::Ok();
+      }
+      case AccStepResult::Kind::kDiverged:
+        return Status::Error("group re-exec: control-flow grouping is wrong: " + step.error);
+      case AccStepResult::Kind::kFallback: {
+        // Not representable in lockstep (§4.7): re-execute the chunk's requests
+        // individually. Re-execution is idempotent, so ops already checked recheck fine.
+        ctx->stats().fallback_groups++;
+        for (RequestId rid : rids) {
+          if (Status st = ReplaySingleRequest(ctx, rid); !st.ok()) {
+            return st;
+          }
+        }
+        return Status::Ok();
+      }
+      case AccStepResult::Kind::kStateOp: {
+        opnum++;
+        std::vector<Value> results(n);
+        for (size_t j = 0; j < n; j++) {
+          Result<OpLocation> loc = ctx->CheckOp(rids[j], opnum, step.ops[j]);
+          if (!loc.ok()) {
+            return Status::Error(loc.error());
+          }
+          Result<Value> v = ctx->SimOp(step.ops[j], loc.value());
+          if (!v.ok()) {
+            return Status::Error(v.error());
+          }
+          results[j] = std::move(v).value();
+        }
+        acc.ProvideValues(std::move(results));
+        break;
+      }
+      case AccStepResult::Kind::kNondet: {
+        std::vector<Value> results(n);
+        for (size_t j = 0; j < n; j++) {
+          Result<Value> v = ctx->NextNondet(rids[j], step.nondets[j]);
+          if (!v.ok()) {
+            return Status::Error(v.error());
+          }
+          results[j] = std::move(v).value();
+        }
+        acc.ProvideValues(std::move(results));
+        break;
+      }
+    }
+  }
+}
+
+AuditResult Auditor::Audit(const Trace& trace, const Reports& reports,
+                           const InitialState& initial) {
+  AuditResult out;
+  AuditContext ctx(&trace, &reports, app_, &initial, options_);
+  if (Status st = ctx.Prepare(); !st.ok()) {
+    out.reason = st.error();
+    out.stats = ctx.stats();
+    return out;
+  }
+
+  {
+    ScopedAccumulator t(&ctx.stats().reexec_seconds);
+    for (const auto& [tag, rids] : reports.groups) {
+      (void)tag;
+      if (rids.empty()) {
+        continue;
+      }
+      ctx.stats().num_groups++;
+      if (rids.size() > 1) {
+        ctx.stats().groups_multi++;
+      }
+      // All requests in a group must exist and target the same script.
+      const TraceEvent* first = ctx.RequestEvent(rids[0]);
+      if (first == nullptr) {
+        out.reason = "group contains rid " + std::to_string(rids[0]) + " not in the trace";
+        out.stats = ctx.stats();
+        return out;
+      }
+      for (RequestId rid : rids) {
+        const TraceEvent* req = ctx.RequestEvent(rid);
+        if (req == nullptr || req->script != first->script) {
+          out.reason = "group mixes scripts or names an untraced rid";
+          out.stats = ctx.stats();
+          return out;
+        }
+      }
+      const Program* prog = app_->GetScript(first->script);
+      if (prog == nullptr) {
+        for (RequestId rid : rids) {
+          if (ctx.OpCount(rid) != 0) {
+            out.reason = "rid " + std::to_string(rid) +
+                         " targets an unknown script but claims operations";
+            out.stats = ctx.stats();
+            return out;
+          }
+          ctx.SetOutput(rid, kNoSuchScriptBody);
+        }
+        continue;
+      }
+      for (size_t start = 0; start < rids.size(); start += options_.max_group_size) {
+        size_t end = std::min(rids.size(), start + options_.max_group_size);
+        std::vector<RequestId> chunk(rids.begin() + static_cast<ptrdiff_t>(start),
+                                     rids.begin() + static_cast<ptrdiff_t>(end));
+        if (Status st = RunGroupChunk(&ctx, prog, chunk); !st.ok()) {
+          out.reason = st.error();
+          out.stats = ctx.stats();
+          return out;
+        }
+      }
+    }
+  }
+
+  if (Status st = ctx.CompareOutputs(); !st.ok()) {
+    out.reason = st.error();
+    out.stats = ctx.stats();
+    return out;
+  }
+  out.accepted = true;
+  out.final_state = ctx.ExtractFinalState();
+  out.stats = ctx.stats();
+  return out;
+}
+
+AuditResult Auditor::AuditSequential(const Trace& trace, const Reports& reports,
+                                     const InitialState& initial) {
+  AuditResult out;
+  AuditOptions opts = options_;
+  opts.enable_query_dedup = false;  // The baseline reissues every read (§5.2).
+  AuditContext ctx(&trace, &reports, app_, &initial, opts);
+  if (Status st = ctx.Prepare(); !st.ok()) {
+    out.reason = st.error();
+    out.stats = ctx.stats();
+    return out;
+  }
+  {
+    ScopedAccumulator t(&ctx.stats().reexec_seconds);
+    for (const TraceEvent& e : trace.events) {
+      if (e.kind != TraceEvent::Kind::kRequest) {
+        continue;
+      }
+      if (Status st = ReplaySingleRequest(&ctx, e.rid); !st.ok()) {
+        out.reason = st.error();
+        out.stats = ctx.stats();
+        return out;
+      }
+    }
+  }
+  if (Status st = ctx.CompareOutputs(); !st.ok()) {
+    out.reason = st.error();
+    out.stats = ctx.stats();
+    return out;
+  }
+  out.accepted = true;
+  out.final_state = ctx.ExtractFinalState();
+  out.stats = ctx.stats();
+  return out;
+}
+
+}  // namespace orochi

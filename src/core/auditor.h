@@ -1,0 +1,54 @@
+// The SSCO audit procedure (paper Figures 3 and 12) and the simple-re-execution baseline.
+//
+// Audit() is SSCO_AUDIT2: balanced-trace check, consistent-ordering verification
+// (ProcessOpReports), versioned-storage builds, then grouped SIMD-on-demand re-execution
+// with simulate-and-check, and finally the produced-output vs. trace comparison.
+//
+// AuditSequential() re-executes each request individually in trace order with the same
+// checks — no grouping, no query dedup. It corresponds to the paper's "simple
+// re-execution" comparator and is the Figure 8/9 baseline.
+#ifndef SRC_CORE_AUDITOR_H_
+#define SRC_CORE_AUDITOR_H_
+
+#include <string>
+
+#include "src/core/audit_context.h"
+
+namespace orochi {
+
+struct AuditResult {
+  bool accepted = false;
+  std::string reason;  // Set on rejection.
+  AuditStats stats;
+  // Valid only when accepted: the end-of-period object state, which seeds the next
+  // audit's InitialState (§4.5).
+  InitialState final_state;
+};
+
+class Auditor {
+ public:
+  explicit Auditor(const Application* app, AuditOptions options = {});
+
+  // SSCO grouped audit.
+  AuditResult Audit(const Trace& trace, const Reports& reports, const InitialState& initial);
+
+  // Per-request baseline with identical checks (grouping and dedup disabled).
+  AuditResult AuditSequential(const Trace& trace, const Reports& reports,
+                              const InitialState& initial);
+
+ private:
+  // Re-executes one request with simulate-and-check; fills ctx outputs. Used by the
+  // baseline and by the fallback path for groups acc cannot run in lockstep.
+  Status ReplaySingleRequest(AuditContext* ctx, RequestId rid);
+
+  // Re-executes one control-flow group chunk via the acc interpreter.
+  Status RunGroupChunk(AuditContext* ctx, const Program* prog,
+                       const std::vector<RequestId>& rids);
+
+  const Application* app_;
+  AuditOptions options_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_CORE_AUDITOR_H_

@@ -1,0 +1,109 @@
+#include "src/core/graph.h"
+
+#include <cassert>
+
+namespace orochi {
+
+uint32_t EventGraph::AddRequest(RequestId rid, uint32_t op_count) {
+  assert(blocks_.count(rid) == 0);
+  uint32_t base = static_cast<uint32_t>(adj_.size());
+  blocks_[rid] = {base, op_count};
+  size_t block_size = static_cast<size_t>(op_count) + 2;
+  adj_.resize(adj_.size() + block_size);
+  for (uint32_t off = 0; off < block_size; off++) {
+    node_owner_.emplace_back(rid, off);
+  }
+  return base;
+}
+
+uint32_t EventGraph::ArrivalNode(RequestId rid) const { return blocks_.at(rid).base; }
+
+uint32_t EventGraph::OpNode(RequestId rid, uint32_t opnum) const {
+  const Block& b = blocks_.at(rid);
+  assert(opnum >= 1 && opnum <= b.op_count);
+  return b.base + opnum;
+}
+
+uint32_t EventGraph::DepartureNode(RequestId rid) const {
+  const Block& b = blocks_.at(rid);
+  return b.base + b.op_count + 1;
+}
+
+void EventGraph::AddEdge(uint32_t from, uint32_t to) {
+  adj_[from].push_back(to);
+  num_edges_++;
+}
+
+EventGraph::NodeLabel EventGraph::Label(uint32_t node) const {
+  const auto& [rid, offset] = node_owner_[node];
+  const Block& b = blocks_.at(rid);
+  if (offset == b.op_count + 1) {
+    return {rid, kInfinityOp};
+  }
+  return {rid, offset};
+}
+
+bool EventGraph::HasCycle() const {
+  // 0 = white, 1 = gray (on stack), 2 = black.
+  std::vector<uint8_t> color(adj_.size(), 0);
+  std::vector<std::pair<uint32_t, size_t>> stack;  // (node, next-edge index).
+  for (uint32_t start = 0; start < adj_.size(); start++) {
+    if (color[start] != 0) {
+      continue;
+    }
+    color[start] = 1;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      auto& [node, edge_idx] = stack.back();
+      if (edge_idx < adj_[node].size()) {
+        uint32_t next = adj_[node][edge_idx];
+        edge_idx++;
+        if (color[next] == 1) {
+          return true;  // Back edge.
+        }
+        if (color[next] == 0) {
+          color[next] = 1;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[node] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<uint32_t> EventGraph::TopologicalOrder() const {
+  std::vector<uint8_t> color(adj_.size(), 0);
+  std::vector<uint32_t> order;
+  order.reserve(adj_.size());
+  std::vector<std::pair<uint32_t, size_t>> stack;
+  for (uint32_t start = 0; start < adj_.size(); start++) {
+    if (color[start] != 0) {
+      continue;
+    }
+    color[start] = 1;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      auto& [node, edge_idx] = stack.back();
+      if (edge_idx < adj_[node].size()) {
+        uint32_t next = adj_[node][edge_idx];
+        edge_idx++;
+        if (color[next] == 0) {
+          color[next] = 1;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        color[node] = 2;
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  // Post-order reversed = topological order.
+  std::vector<uint32_t> topo(order.rbegin(), order.rend());
+  return topo;
+}
+
+}  // namespace orochi

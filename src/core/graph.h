@@ -1,0 +1,67 @@
+// The event-precedence graph G of paper §3.5 (Figure 5): one node per event — request
+// arrival (rid, 0), alleged operations (rid, 1..M), response departure (rid, ∞) — with
+// edges for time precedence, program order, and alleged log order. Acyclicity of G is what
+// makes the implied schedule exist.
+#ifndef SRC_CORE_GRAPH_H_
+#define SRC_CORE_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/objects/object_model.h"
+
+namespace orochi {
+
+// Node id space: each request owns a contiguous block [base, base + M + 1]:
+//   base + k     = (rid, k) for k in 0..M,
+//   base + M + 1 = (rid, ∞).
+class EventGraph {
+ public:
+  // Registers a request with the given op count; returns its base node id.
+  uint32_t AddRequest(RequestId rid, uint32_t op_count);
+
+  bool HasRequest(RequestId rid) const { return blocks_.count(rid) > 0; }
+
+  // Node accessors; the request must have been added.
+  uint32_t ArrivalNode(RequestId rid) const;                  // (rid, 0)
+  uint32_t OpNode(RequestId rid, uint32_t opnum) const;       // (rid, opnum), 1 <= opnum <= M
+  uint32_t DepartureNode(RequestId rid) const;                // (rid, ∞)
+
+  void AddEdge(uint32_t from, uint32_t to);
+
+  size_t NumNodes() const { return adj_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+  const std::vector<uint32_t>& OutEdges(uint32_t node) const { return adj_[node]; }
+
+  // Standard iterative three-color DFS. True when G has a directed cycle.
+  bool HasCycle() const;
+
+  // A topological order of all nodes (valid only when acyclic); used by the OOO auditor
+  // and the soundness tests to materialize the implied schedule.
+  std::vector<uint32_t> TopologicalOrder() const;
+
+  struct NodeLabel {
+    RequestId rid;
+    uint32_t opnum;    // kInfinityOp for (rid, ∞).
+  };
+  static constexpr uint32_t kInfinityOp = UINT32_MAX;
+
+  // Reverse lookup for diagnostics and the OOO schedule.
+  NodeLabel Label(uint32_t node) const;
+
+ private:
+  struct Block {
+    uint32_t base;
+    uint32_t op_count;
+  };
+
+  std::unordered_map<RequestId, Block> blocks_;
+  std::vector<std::pair<RequestId, uint32_t>> node_owner_;  // node -> (rid, offset).
+  std::vector<std::vector<uint32_t>> adj_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_CORE_GRAPH_H_

@@ -1,0 +1,45 @@
+// OOOAudit (paper Figure 13, §A.4): out-of-order re-execution following an explicit op
+// schedule. This is the proof's bridge between grouped re-execution and physical
+// execution; here it doubles as a test harness for the schedule-indifference property
+// (Lemma 5: all well-formed schedules produce the same verdict) and as an alternative
+// formulation of the simple re-execution baseline.
+#ifndef SRC_CORE_OOO_AUDIT_H_
+#define SRC_CORE_OOO_AUDIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/audit_context.h"
+#include "src/core/auditor.h"
+
+namespace orochi {
+
+// One schedule entry: opnum 0 = read inputs / allocate, 1..M = run through the request's
+// k-th state operation, kOutputStep = run to output.
+struct OpScheduleEntry {
+  RequestId rid;
+  uint32_t opnum;
+};
+inline constexpr uint32_t kOutputStep = UINT32_MAX;
+
+using OpSchedule = std::vector<OpScheduleEntry>;
+
+// Schedule builders (all produce well-formed schedules per Definition 4).
+// Requests in trace order, each run start-to-finish before the next.
+OpSchedule SequentialSchedule(const Trace& trace,
+                              const std::unordered_map<RequestId, uint32_t>& op_counts);
+// The implied schedule: a topological sort of the event graph G.
+OpSchedule TopologicalSchedule(const ProcessedReports& processed);
+// A random well-formed schedule (respects program order only), for Lemma 5 testing.
+OpSchedule RandomWellFormedSchedule(const Trace& trace,
+                                    const std::unordered_map<RequestId, uint32_t>& op_counts,
+                                    uint64_t seed);
+
+// Runs the full audit using OOOExec over the given schedule.
+AuditResult OOOAudit(const Application* app, const Trace& trace, const Reports& reports,
+                     const InitialState& initial, const OpSchedule& schedule,
+                     AuditOptions options = {});
+
+}  // namespace orochi
+
+#endif  // SRC_CORE_OOO_AUDIT_H_

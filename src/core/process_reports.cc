@@ -1,0 +1,92 @@
+#include "src/core/process_reports.h"
+
+namespace orochi {
+
+Result<ProcessedReports> ProcessOpReports(const Trace& trace, const Reports& reports) {
+  using R = Result<ProcessedReports>;
+  ProcessedReports out;
+
+  // Collect per-request op counts for every rid in the trace (absent reports mean the
+  // request allegedly issued no operations).
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind != TraceEvent::Kind::kRequest) {
+      continue;
+    }
+    auto it = reports.op_counts.find(e.rid);
+    out.op_counts[e.rid] = it == reports.op_counts.end() ? 0 : it->second;
+  }
+
+  // CreateTimePrecedenceGraph + SplitNodes + AddProgramEdges (Figure 5, lines 4-6;
+  // Figure 6). Nodes for all of (rid, 0..M, inf) are allocated per request; program-order
+  // edges chain them.
+  TimePrecedenceGraph gtr = CreateTimePrecedenceGraph(trace);
+  for (const auto& [rid, m] : out.op_counts) {
+    out.graph.AddRequest(rid, m);
+    out.op_map.DeclareRequest(rid, m);
+  }
+  for (const auto& [rid, m] : out.op_counts) {
+    uint32_t prev = out.graph.ArrivalNode(rid);
+    for (uint32_t opnum = 1; opnum <= m; opnum++) {
+      uint32_t node = out.graph.OpNode(rid, opnum);
+      out.graph.AddEdge(prev, node);
+      prev = node;
+    }
+    out.graph.AddEdge(prev, out.graph.DepartureNode(rid));
+  }
+  // SplitNodes: each GTr edge <r1, r2> becomes <(r1, inf), (r2, 0)>.
+  for (const auto& [rid, parents] : gtr.parents) {
+    for (RequestId parent : parents) {
+      out.graph.AddEdge(out.graph.DepartureNode(parent), out.graph.ArrivalNode(rid));
+    }
+  }
+
+  // CheckLogs (Figure 5, lines 28-42): every log entry must name a traced request and an
+  // opnum in [1, M(rid)], and no (rid, opnum) may be claimed twice. Afterwards, every
+  // (rid, opnum) up to M(rid) must be claimed by exactly one entry.
+  for (size_t i = 0; i < reports.op_logs.size(); i++) {
+    const auto& log = reports.op_logs[i];
+    for (size_t j = 0; j < log.size(); j++) {
+      const OpRecord& op = log[j];
+      auto mc = out.op_counts.find(op.rid);
+      if (mc == out.op_counts.end()) {
+        return R::Error("CheckLogs: log entry names rid " + std::to_string(op.rid) +
+                        " absent from the trace");
+      }
+      if (op.opnum == 0 || op.opnum > mc->second) {
+        return R::Error("CheckLogs: opnum " + std::to_string(op.opnum) + " out of range for rid " +
+                        std::to_string(op.rid));
+      }
+      if (!out.op_map.Insert(op.rid, op.opnum,
+                             {static_cast<uint32_t>(i), static_cast<uint32_t>(j + 1)})) {
+        return R::Error("CheckLogs: duplicate claim for (rid " + std::to_string(op.rid) +
+                        ", opnum " + std::to_string(op.opnum) + ")");
+      }
+    }
+  }
+  if (!out.op_map.Complete()) {
+    return R::Error("CheckLogs: some (rid, opnum) pair up to M(rid) has no log entry");
+  }
+
+  // AddStateEdges (Figure 5, lines 44-54): adjacent log entries from different requests
+  // order their ops; same-request adjacency must respect program order.
+  for (const auto& log : reports.op_logs) {
+    for (size_t j = 1; j < log.size(); j++) {
+      const OpRecord& prev = log[j - 1];
+      const OpRecord& curr = log[j];
+      if (prev.rid != curr.rid) {
+        out.graph.AddEdge(out.graph.OpNode(prev.rid, prev.opnum),
+                          out.graph.OpNode(curr.rid, curr.opnum));
+      } else if (prev.opnum > curr.opnum) {
+        return R::Error("AddStateEdges: intra-request opnum decreases in a log");
+      }
+    }
+  }
+
+  if (out.graph.HasCycle()) {
+    return R::Error("consistent ordering: event graph has a cycle "
+                    "(no schedule can explain the trace and logs)");
+  }
+  return out;
+}
+
+}  // namespace orochi

@@ -1,0 +1,32 @@
+// ProcessOpReports (paper Figure 5): consistent-ordering verification. Builds the event
+// graph G from the trace's time precedence, program order, and the alleged operation logs;
+// validates log well-formedness (CheckLogs) while constructing the OpMap; and rejects when
+// G has a cycle — i.e., when no schedule can explain the observations (§3.4, §3.5).
+#ifndef SRC_CORE_PROCESS_REPORTS_H_
+#define SRC_CORE_PROCESS_REPORTS_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/core/graph.h"
+#include "src/core/op_map.h"
+#include "src/core/time_precedence.h"
+#include "src/objects/reports.h"
+#include "src/objects/trace.h"
+
+namespace orochi {
+
+struct ProcessedReports {
+  EventGraph graph;
+  OpMap op_map;
+  // M with defaults applied (absent entries = 0), keyed by every rid in the trace.
+  std::unordered_map<RequestId, uint32_t> op_counts;
+};
+
+// Returns an error (=> audit REJECT) when the logs are malformed or G is cyclic. The trace
+// must already be balanced.
+Result<ProcessedReports> ProcessOpReports(const Trace& trace, const Reports& reports);
+
+}  // namespace orochi
+
+#endif  // SRC_CORE_PROCESS_REPORTS_H_

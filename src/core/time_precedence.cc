@@ -1,0 +1,54 @@
+#include "src/core/time_precedence.h"
+
+#include <unordered_set>
+
+namespace orochi {
+
+TimePrecedenceGraph CreateTimePrecedenceGraph(const Trace& trace) {
+  TimePrecedenceGraph g;
+  // "Latest" requests; parent(s) of any new request (paper Figure 6).
+  std::unordered_set<RequestId> frontier;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEvent::Kind::kRequest) {
+      auto& parents = g.parents[e.rid];
+      parents.assign(frontier.begin(), frontier.end());
+      g.num_edges += parents.size();
+    } else {
+      // rid enters the frontier, evicting its parents.
+      auto it = g.parents.find(e.rid);
+      if (it != g.parents.end()) {
+        for (RequestId parent : it->second) {
+          frontier.erase(parent);
+        }
+      }
+      frontier.insert(e.rid);
+    }
+  }
+  return g;
+}
+
+bool TimePrecedenceGraph::HasPath(RequestId from, RequestId to) const {
+  // DFS over reverse edges: start at `to`, walk to parents.
+  std::unordered_set<RequestId> visited;
+  std::vector<RequestId> stack{to};
+  while (!stack.empty()) {
+    RequestId cur = stack.back();
+    stack.pop_back();
+    if (!visited.insert(cur).second) {
+      continue;
+    }
+    auto it = parents.find(cur);
+    if (it == parents.end()) {
+      continue;
+    }
+    for (RequestId parent : it->second) {
+      if (parent == from) {
+        return true;
+      }
+      stack.push_back(parent);
+    }
+  }
+  return false;
+}
+
+}  // namespace orochi

@@ -1,0 +1,33 @@
+// CreateTimePrecedenceGraph (paper Figure 6): the streaming frontier algorithm that
+// materializes the trace's time-precedence partial order <Tr with the minimum number of
+// edges, in O(X + Z) time (Lemma 11/12). Prior work [Anderson et al.] costs
+// O(X log X + Z); the frontier trick removes the log factor — this algorithm is one of the
+// paper's standalone contributions (§3.5).
+#ifndef SRC_CORE_TIME_PRECEDENCE_H_
+#define SRC_CORE_TIME_PRECEDENCE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/objects/trace.h"
+
+namespace orochi {
+
+// GTr: for each request, the list of parent requests (every edge parent -> rid states that
+// parent's response departed before rid arrived).
+struct TimePrecedenceGraph {
+  // Parents keyed by rid; requests absent from the map have no parents.
+  std::unordered_map<RequestId, std::vector<RequestId>> parents;
+  size_t num_edges = 0;
+
+  // r1 <Tr r2 iff there is a directed path from r1 to r2 (used by tests against a
+  // brute-force oracle; the audit itself only consumes `parents`).
+  bool HasPath(RequestId from, RequestId to) const;
+};
+
+// The trace must be balanced (CheckTraceBalanced) before calling.
+TimePrecedenceGraph CreateTimePrecedenceGraph(const Trace& trace);
+
+}  // namespace orochi
+
+#endif  // SRC_CORE_TIME_PRECEDENCE_H_

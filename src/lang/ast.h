@@ -1,0 +1,110 @@
+// Abstract syntax tree for wscript. Produced by the parser, consumed by the compiler.
+#ifndef SRC_LANG_AST_H_
+#define SRC_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace orochi {
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod, kConcat,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+enum class UnOp : uint8_t { kNeg, kNot };
+
+enum class ExprKind : uint8_t {
+  kNullLit, kBoolLit, kIntLit, kFloatLit, kStringLit,
+  kVar,
+  kBinary,
+  kUnary,
+  kLogicalAnd, kLogicalOr,
+  kTernary,
+  kAssign,     // target var + index path; op may be plain, +=, -=, .=
+  kIncDec,     // ++/-- on a plain variable
+  kCall,       // function or builtin call by name
+  kArrayLit,
+  kIndex,      // base[index]
+};
+
+enum class AssignOp : uint8_t { kPlain, kAddAssign, kSubAssign, kConcatAssign };
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // Literals.
+  bool bool_val = false;
+  int64_t int_val = 0;
+  double float_val = 0.0;
+  std::string str_val;  // String literal / variable name / call target name.
+
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+  AssignOp assign_op = AssignOp::kPlain;
+  bool is_prefix = false;     // kIncDec.
+  bool is_increment = true;   // kIncDec.
+
+  ExprPtr a;  // lhs / operand / condition / call base.
+  ExprPtr b;  // rhs / then.
+  ExprPtr c;  // else.
+
+  // kCall arguments; kArrayLit entries (pairs of key|nullptr and value);
+  // kAssign index path (nullptr element = "append" []).
+  std::vector<ExprPtr> list;
+  std::vector<ExprPtr> keys;  // kArrayLit keys, parallel to list (nullptr = auto index).
+};
+
+enum class StmtKind : uint8_t {
+  kExpr,
+  kEcho,
+  kIf,
+  kWhile,
+  kFor,
+  kForeach,
+  kReturn,
+  kBreak,
+  kContinue,
+  kBlock,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr expr;   // kExpr / kEcho(first) / condition / kReturn value.
+  ExprPtr init;   // kFor init (may be null).
+  ExprPtr step;   // kFor step (may be null).
+  StmtPtr body;   // Loop/if body.
+  StmtPtr else_body;
+  std::vector<StmtPtr> block;   // kBlock statements.
+  std::vector<ExprPtr> echoes;  // kEcho: all expressions.
+
+  // kForeach: iterate expr as $key_var => $value_var.
+  std::string key_var;    // Empty when no key binding.
+  std::string value_var;
+};
+
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  int line = 0;
+};
+
+// A parsed script: top-level statements plus function declarations.
+struct ScriptAst {
+  std::vector<StmtPtr> top_level;
+  std::vector<FunctionDecl> functions;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_LANG_AST_H_

@@ -1,0 +1,21 @@
+// Compiles a parsed wscript AST into bytecode.
+#ifndef SRC_LANG_COMPILER_H_
+#define SRC_LANG_COMPILER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/lang/ast.h"
+#include "src/lang/bytecode.h"
+
+namespace orochi {
+
+// Compiles an already-parsed script.
+Result<Program> CompileScript(const ScriptAst& ast, const std::string& script_name);
+
+// Convenience: parse + compile.
+Result<Program> CompileSource(const std::string& source, const std::string& script_name);
+
+}  // namespace orochi
+
+#endif  // SRC_LANG_COMPILER_H_

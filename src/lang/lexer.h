@@ -1,0 +1,70 @@
+// Lexer for the wscript language (the PHP-like scripting substrate; see LANGUAGE.md).
+#ifndef SRC_LANG_LEXER_H_
+#define SRC_LANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace orochi {
+
+enum class TokenKind : uint8_t {
+  kEnd,
+  kInt,
+  kFloat,
+  kString,
+  kVariable,    // $name
+  kIdentifier,  // bare name: function names, keywords resolved by parser
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kAssign,        // =
+  kPlusAssign,    // +=
+  kMinusAssign,   // -=
+  kConcatAssign,  // .=
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kDot,
+  kEq,  // ==
+  kNe,  // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kBang,
+  kQuestion,
+  kColon,
+  kArrow,  // =>
+  kPlusPlus,
+  kMinusMinus,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   // Identifier / variable name / string contents.
+  int64_t int_val;    // kInt.
+  double float_val;   // kFloat.
+  int line;
+};
+
+const char* TokenKindName(TokenKind k);
+
+// Tokenizes the whole source; returns an error with a line number on bad input.
+Result<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace orochi
+
+#endif  // SRC_LANG_LEXER_H_

@@ -1,0 +1,17 @@
+// Recursive-descent parser for wscript. Grammar summary is in LANGUAGE.md.
+#ifndef SRC_LANG_PARSER_H_
+#define SRC_LANG_PARSER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/lang/ast.h"
+
+namespace orochi {
+
+// Parses a full script (top-level statements + function declarations).
+Result<ScriptAst> ParseScript(const std::string& source);
+
+}  // namespace orochi
+
+#endif  // SRC_LANG_PARSER_H_

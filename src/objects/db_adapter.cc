@@ -1,0 +1,50 @@
+#include "src/objects/db_adapter.h"
+
+namespace orochi {
+
+Value SqlValueToValue(const SqlValue& v) {
+  if (v.is_null()) {
+    return Value::Null();
+  }
+  if (v.is_int()) {
+    return Value::Int(v.as_int());
+  }
+  if (v.is_float()) {
+    return Value::Float(v.as_float());
+  }
+  return Value::Str(v.as_text());
+}
+
+Value StmtResultToValue(const StmtResult& r) {
+  if (!r.is_rows) {
+    return Value::Int(r.affected);
+  }
+  Value rows = Value::Array();
+  ArrayObject& rows_arr = rows.MutableArray();
+  for (const SqlRow& row : r.rows.rows) {
+    Value row_val = Value::Array();
+    ArrayObject& row_arr = row_val.MutableArray();
+    for (size_t i = 0; i < row.size(); i++) {
+      row_arr.Set(ArrayKey(r.rows.columns[i]), SqlValueToValue(row[i]));
+    }
+    rows_arr.Append(std::move(row_val));
+  }
+  return rows;
+}
+
+Value DbQueryFailureValue() { return Value::Null(); }
+
+Value DbTxnResultToValue(bool committed, const std::vector<StmtResult>& results) {
+  Value out = Value::Array();
+  ArrayObject& arr = out.MutableArray();
+  arr.Append(Value::Bool(committed));
+  Value result_list = Value::Array();
+  ArrayObject& list_arr = result_list.MutableArray();
+  for (const StmtResult& r : results) {
+    list_arr.Append(StmtResultToValue(r));
+  }
+  arr.Append(std::move(result_list));
+  return out;
+}
+
+}  // namespace orochi

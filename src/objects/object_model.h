@@ -1,0 +1,67 @@
+// Shared-object identity and the operation-record format used in reports.
+//
+// Objects (paper §3.2, §4.4): every per-user session register is its own atomic object; the
+// APC-style key-value store is one linearizable object; the SQL database is one strictly
+// serializable object. Reports identify objects by index into an object table, and each
+// object's operation log is a sequence of OpRecords. Everything here is plain data —
+// reports are untrusted and the verifier parses them defensively.
+#ifndef SRC_OBJECTS_OBJECT_MODEL_H_
+#define SRC_OBJECTS_OBJECT_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/step_result.h"
+#include "src/lang/value.h"
+
+namespace orochi {
+
+using RequestId = uint64_t;
+
+enum class ObjectKind : uint8_t { kRegister, kKv, kDb };
+
+const char* ObjectKindName(ObjectKind k);
+
+// Object-table entry: `name` is the register name; empty for the KV store and database.
+struct ObjectDesc {
+  ObjectKind kind;
+  std::string name;
+
+  bool operator==(const ObjectDesc& o) const { return kind == o.kind && name == o.name; }
+};
+
+// One entry of an operation log (paper §3.3): OLi : N+ -> (rid, opnum, optype, opcontents).
+struct OpRecord {
+  RequestId rid = 0;
+  uint32_t opnum = 0;  // 1-based, per request.
+  StateOpType type = StateOpType::kRegisterRead;
+  std::string contents;  // Canonical operand encoding; see helpers below.
+};
+
+// --- opcontents encodings ---
+// RegisterRead / KvGet: empty / raw key. RegisterWrite: serialized value.
+// KvSet: serialized [key, value]. DbOp: serialized [[stmts...], is_txn, success].
+
+std::string MakeRegisterWriteContents(const Value& value);
+std::string MakeKvSetContents(const std::string& key, const Value& value);
+std::string MakeDbContents(const std::vector<std::string>& sql, bool is_txn, bool success);
+
+struct DbContents {
+  std::vector<std::string> sql;
+  bool is_txn = false;
+  bool success = true;
+};
+
+Result<Value> ParseRegisterWriteContents(const std::string& contents);
+struct KvSetContents {
+  std::string key;
+  Value value;
+};
+Result<KvSetContents> ParseKvSetContents(const std::string& contents);
+Result<DbContents> ParseDbContents(const std::string& contents);
+
+}  // namespace orochi
+
+#endif  // SRC_OBJECTS_OBJECT_MODEL_H_

@@ -1,0 +1,41 @@
+#include "src/objects/reports.h"
+
+namespace orochi {
+
+int Reports::FindObject(ObjectKind kind, const std::string& name) const {
+  for (size_t i = 0; i < objects.size(); i++) {
+    if (objects[i].kind == kind && objects[i].name == name) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+size_t Reports::ApproximateBytes(bool nondet_only) const {
+  size_t bytes = 0;
+  if (!nondet_only) {
+    for (const ObjectDesc& d : objects) {
+      bytes += d.name.size() + 2;
+    }
+    for (const auto& log : op_logs) {
+      for (const OpRecord& op : log) {
+        bytes += 8 /*rid*/ + 4 /*opnum*/ + 1 /*optype*/ + op.contents.size();
+      }
+    }
+    for (const auto& [tag, rids] : groups) {
+      (void)tag;
+      bytes += 8 + 8 * rids.size();
+    }
+    bytes += 12 * op_counts.size();
+  }
+  for (const auto& [rid, records] : nondet) {
+    (void)rid;
+    bytes += 8;
+    for (const NondetRecord& r : records) {
+      bytes += r.name.size() + r.value.size() + 2;
+    }
+  }
+  return bytes;
+}
+
+}  // namespace orochi

@@ -1,0 +1,50 @@
+// The untrusted reports the executor hands the verifier (paper §3, §4.6):
+//   C  — control-flow groupings (opaque tag -> requestIDs),
+//   OL — per-object operation logs,
+//   M  — per-request operation counts,
+//   ND — non-determinism records (return values of time/microtime/rand).
+#ifndef SRC_OBJECTS_REPORTS_H_
+#define SRC_OBJECTS_REPORTS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/objects/object_model.h"
+
+namespace orochi {
+
+struct NondetRecord {
+  std::string name;   // Builtin name ("time", "microtime", "rand").
+  std::string value;  // Canonically serialized return value.
+};
+
+struct Reports {
+  // Object table: index in this vector is the object id i; op_logs[i] is OLi.
+  std::vector<ObjectDesc> objects;
+  std::vector<std::vector<OpRecord>> op_logs;
+
+  // Control-flow groupings: opaque tag -> requestIDs (paper §3.1).
+  std::map<uint64_t, std::vector<RequestId>> groups;
+
+  // Op counts M: requestID -> total state operations issued (paper §3.3).
+  std::unordered_map<RequestId, uint32_t> op_counts;
+
+  // Non-determinism reports: requestID -> values returned by nondet builtins, in call
+  // order (paper §4.6).
+  std::unordered_map<RequestId, std::vector<NondetRecord>> nondet;
+
+  // Finds the object id for a descriptor; -1 when absent.
+  int FindObject(ObjectKind kind, const std::string& name) const;
+
+  // Approximate serialized size, for the Figure 8 report-overhead columns. The
+  // `nondet_only` flag sizes just the ND reports (the paper's baseline is charged only for
+  // nondeterminism reports, §5.1).
+  size_t ApproximateBytes(bool nondet_only = false) const;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_OBJECTS_REPORTS_H_

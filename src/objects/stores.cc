@@ -1,0 +1,92 @@
+#include "src/objects/stores.h"
+
+#include <algorithm>
+
+namespace orochi {
+
+Value RegisterStore::Read(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = regs_.find(name);
+  return it == regs_.end() ? Value::Null() : it->second;
+}
+
+void RegisterStore::Write(const std::string& name, Value v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  regs_[name] = std::move(v);
+}
+
+std::map<std::string, Value> RegisterStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return regs_;
+}
+
+void RegisterStore::Load(const std::map<std::string, Value>& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  regs_ = snapshot;
+}
+
+Value KvStore::Get(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = kv_.find(key);
+  return it == kv_.end() ? Value::Null() : it->second;
+}
+
+void KvStore::Set(const std::string& key, Value v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Storing null deletes (APC-style): gets of absent keys already return null, so null
+  // values and absent keys are indistinguishable to programs.
+  if (v.is_null()) {
+    kv_.erase(key);
+    return;
+  }
+  kv_[key] = std::move(v);
+}
+
+std::map<std::string, Value> KvStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kv_;
+}
+
+void KvStore::Load(const std::map<std::string, Value>& snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kv_ = snapshot;
+}
+
+void VersionedKv::LoadInitial(const std::map<std::string, Value>& snapshot) {
+  for (const auto& [key, v] : snapshot) {
+    writes_[key].emplace_back(0, v);
+  }
+}
+
+void VersionedKv::AddSet(const std::string& key, uint64_t seqnum, Value v) {
+  writes_[key].emplace_back(seqnum, std::move(v));
+}
+
+std::map<std::string, Value> VersionedKv::LatestSnapshot() const {
+  std::map<std::string, Value> out;
+  for (const auto& [key, versions] : writes_) {
+    if (!versions.empty() && !versions.back().second.is_null()) {
+      out[key] = versions.back().second;
+    }
+  }
+  return out;
+}
+
+Value VersionedKv::Get(const std::string& key, uint64_t seqnum) const {
+  auto it = writes_.find(key);
+  if (it == writes_.end()) {
+    return Value::Null();
+  }
+  const auto& versions = it->second;
+  // Last write with seq < seqnum.
+  auto pos = std::lower_bound(
+      versions.begin(), versions.end(), seqnum,
+      [](const std::pair<uint64_t, Value>& a, uint64_t s) { return a.first < s; });
+  if (pos == versions.begin()) {
+    return Value::Null();
+  }
+  --pos;
+  return pos->second;
+}
+
+}  // namespace orochi

@@ -1,0 +1,69 @@
+// Live shared-object stores used by the online server, plus the initial-state snapshot the
+// verifier needs to bootstrap an audit (paper §4.1 "persistent objects").
+#ifndef SRC_OBJECTS_STORES_H_
+#define SRC_OBJECTS_STORES_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "src/lang/value.h"
+#include "src/sql/database.h"
+
+namespace orochi {
+
+// Atomic registers keyed by name (per-user session data, §4.4). A single mutex gives
+// per-operation atomicity (stronger than required register semantics).
+class RegisterStore {
+ public:
+  Value Read(const std::string& name) const;
+  void Write(const std::string& name, Value v);
+  std::map<std::string, Value> Snapshot() const;
+  void Load(const std::map<std::string, Value>& snapshot);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Value> regs_;
+};
+
+// Linearizable key-value store (the APC analog, §4.4).
+class KvStore {
+ public:
+  Value Get(const std::string& key) const;
+  void Set(const std::string& key, Value v);
+  std::map<std::string, Value> Snapshot() const;
+  void Load(const std::map<std::string, Value>& snapshot);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Value> kv_;
+};
+
+// The state the verifier trusts as the beginning-of-audit-period contents of every object
+// (produced by the previous audit in steady state, §4.5).
+struct InitialState {
+  std::map<std::string, Value> registers;
+  std::map<std::string, Value> kv;
+  Database db;
+};
+
+// Audit-time versioned key-value store (paper §A.7): key -> ordered (seqnum, value) writes;
+// get(key, s) returns the value of the KvSet with the highest seqnum < s, falling back to
+// the initial snapshot.
+class VersionedKv {
+ public:
+  void LoadInitial(const std::map<std::string, Value>& snapshot);
+  // Records the KvSet at log position `seqnum` (1-based; appends must be monotone).
+  void AddSet(const std::string& key, uint64_t seqnum, Value v);
+  Value Get(const std::string& key, uint64_t seqnum) const;
+
+  // Final contents (last write per key, nulls elided): the state kept for the next audit.
+  std::map<std::string, Value> LatestSnapshot() const;
+
+ private:
+  std::map<std::string, std::vector<std::pair<uint64_t, Value>>> writes_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_OBJECTS_STORES_H_

@@ -1,0 +1,62 @@
+#include "src/objects/trace.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace orochi {
+
+size_t Trace::NumRequests() const {
+  size_t n = 0;
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEvent::Kind::kRequest) {
+      n++;
+    }
+  }
+  return n;
+}
+
+size_t Trace::ApproximateBytes() const {
+  size_t bytes = 0;
+  for (const TraceEvent& e : events) {
+    bytes += 16;  // Event framing + rid.
+    if (e.kind == TraceEvent::Kind::kRequest) {
+      bytes += e.script.size();
+      for (const auto& [k, v] : e.params) {
+        bytes += k.size() + v.size() + 2;
+      }
+    } else {
+      bytes += e.body.size();
+    }
+  }
+  return bytes;
+}
+
+Status CheckTraceBalanced(const Trace& trace) {
+  std::unordered_set<RequestId> seen_requests;
+  std::unordered_set<RequestId> open_requests;
+  std::unordered_set<RequestId> responded;
+  for (const TraceEvent& e : trace.events) {
+    if (e.kind == TraceEvent::Kind::kRequest) {
+      if (!seen_requests.insert(e.rid).second) {
+        return Status::Error("trace: duplicate requestID " + std::to_string(e.rid));
+      }
+      open_requests.insert(e.rid);
+    } else {
+      if (open_requests.count(e.rid) == 0) {
+        return Status::Error("trace: response without matching open request, rid " +
+                             std::to_string(e.rid));
+      }
+      open_requests.erase(e.rid);
+      if (!responded.insert(e.rid).second) {
+        return Status::Error("trace: duplicate response for rid " + std::to_string(e.rid));
+      }
+    }
+  }
+  if (!open_requests.empty()) {
+    return Status::Error("trace: " + std::to_string(open_requests.size()) +
+                         " request(s) without responses");
+  }
+  return Status::Ok();
+}
+
+}  // namespace orochi

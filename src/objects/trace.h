@@ -1,0 +1,44 @@
+// The trace: the trusted, ordered record of requests into and responses out of the
+// executor, produced by the collector (paper §2, Figure 1).
+#ifndef SRC_OBJECTS_TRACE_H_
+#define SRC_OBJECTS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/interpreter.h"
+#include "src/objects/object_model.h"
+
+namespace orochi {
+
+struct TraceEvent {
+  enum class Kind : uint8_t { kRequest, kResponse };
+
+  Kind kind;
+  RequestId rid;
+  // kRequest payload: which script ran and its inputs.
+  std::string script;
+  RequestParams params;
+  // kResponse payload.
+  std::string body;
+};
+
+struct Trace {
+  std::vector<TraceEvent> events;
+
+  size_t NumRequests() const;
+  // Approximate wire size (request line + params + response body), for the report-overhead
+  // ratios of Figure 8.
+  size_t ApproximateBytes() const;
+};
+
+// Balanced-trace validation (paper §3): every response follows its request, every request
+// has exactly one response, and requestIDs are unique. The verifier runs this before
+// invoking the audit.
+Status CheckTraceBalanced(const Trace& trace);
+
+}  // namespace orochi
+
+#endif  // SRC_OBJECTS_TRACE_H_

@@ -1,0 +1,42 @@
+#include "src/server/application.h"
+
+#include "src/lang/compiler.h"
+
+namespace orochi {
+
+Status Application::AddScript(const std::string& name, const std::string& source) {
+  if (scripts_.count(name) > 0) {
+    return Status::Error("duplicate script '" + name + "'");
+  }
+  Result<Program> prog = CompileSource(source, name);
+  if (!prog.ok()) {
+    return Status::Error("script '" + name + "': " + prog.error());
+  }
+  scripts_.emplace(name, std::move(prog).value());
+  return Status::Ok();
+}
+
+const Program* Application::GetScript(const std::string& name) const {
+  auto it = scripts_.find(name);
+  return it == scripts_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Application::ScriptNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, prog] : scripts_) {
+    (void)prog;
+    names.push_back(name);
+  }
+  return names;
+}
+
+size_t Application::TotalInstructions() const {
+  size_t n = 0;
+  for (const auto& [name, prog] : scripts_) {
+    (void)name;
+    n += prog.TotalInstructions();
+  }
+  return n;
+}
+
+}  // namespace orochi

@@ -1,0 +1,35 @@
+// An application: a set of named wscript endpoints (the PHP scripts of paper §4.2).
+#ifndef SRC_SERVER_APPLICATION_H_
+#define SRC_SERVER_APPLICATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/bytecode.h"
+
+namespace orochi {
+
+class Application {
+ public:
+  // Compiles and registers an endpoint; `name` is the request path (e.g. "/wiki/view").
+  Status AddScript(const std::string& name, const std::string& source);
+
+  // nullptr when the endpoint does not exist.
+  const Program* GetScript(const std::string& name) const;
+
+  std::vector<std::string> ScriptNames() const;
+  size_t TotalInstructions() const;
+
+ private:
+  std::map<std::string, Program> scripts_;
+};
+
+// Deterministic response body for requests to unknown endpoints; both the server and the
+// verifier produce it so such requests remain auditable.
+inline constexpr const char* kNoSuchScriptBody = "[error] no such script";
+
+}  // namespace orochi
+
+#endif  // SRC_SERVER_APPLICATION_H_

@@ -1,0 +1,46 @@
+// The trace collector: the trusted middlebox of paper §1/§4 that records requests and
+// responses in the order they actually cross the server boundary.
+#ifndef SRC_SERVER_COLLECTOR_H_
+#define SRC_SERVER_COLLECTOR_H_
+
+#include <mutex>
+#include <string>
+
+#include "src/lang/interpreter.h"
+#include "src/objects/trace.h"
+
+namespace orochi {
+
+class Collector {
+ public:
+  void RecordRequest(RequestId rid, const std::string& script, const RequestParams& params) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kRequest;
+    e.rid = rid;
+    e.script = script;
+    e.params = params;
+    trace_.events.push_back(std::move(e));
+  }
+
+  void RecordResponse(RequestId rid, const std::string& body) {
+    std::lock_guard<std::mutex> lock(mu_);
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::kResponse;
+    e.rid = rid;
+    e.body = body;
+    trace_.events.push_back(std::move(e));
+  }
+
+  // Call after draining the server.
+  const Trace& trace() const { return trace_; }
+  Trace TakeTrace() { return std::move(trace_); }
+
+ private:
+  std::mutex mu_;
+  Trace trace_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_SERVER_COLLECTOR_H_

@@ -1,0 +1,87 @@
+#include "src/server/manual_executor.h"
+
+#include <cassert>
+
+#include "src/common/hash.h"
+
+namespace orochi {
+
+void ManualExecutor::Begin(RequestId rid, const std::string& script, RequestParams params) {
+  collector_->RecordRequest(rid, script, params);
+  Pending p;
+  p.script = script;
+  p.params = std::make_unique<RequestParams>(std::move(params));
+  const Program* prog = app_->GetScript(script);
+  if (prog != nullptr) {
+    InterpreterOptions opts;
+    opts.record_digest = core_->recording();
+    p.interp = std::make_unique<Interpreter>(prog, p.params.get(), opts);
+  } else {
+    p.done = true;
+    p.body = kNoSuchScriptBody;
+    core_->FinalizeRequest(rid, FnvHash("missing:" + script), 0, {});
+  }
+  pending_.emplace(rid, std::move(p));
+}
+
+bool ManualExecutor::Advance(RequestId rid, Pending* p) {
+  while (true) {
+    StepResult step = p->interp->Run();
+    switch (step.kind) {
+      case StepResult::Kind::kFinished:
+        p->done = true;
+        p->body = p->interp->output();
+        core_->FinalizeRequest(rid, p->interp->digest(), p->opnum,
+                               std::move(p->nondet_records));
+        return false;
+      case StepResult::Kind::kError:
+        p->done = true;
+        p->body = p->interp->output() + "\n[error] " + step.error;
+        core_->FinalizeRequest(rid, p->interp->digest(), p->opnum,
+                               std::move(p->nondet_records));
+        return false;
+      case StepResult::Kind::kStateOp: {
+        p->opnum++;
+        p->interp->ProvideValue(core_->PerformStateOp(rid, p->opnum, step.op));
+        return true;
+      }
+      case StepResult::Kind::kNondet: {
+        Value v = core_->ProduceNondet(step.nondet.name, step.nondet.args);
+        if (core_->recording()) {
+          p->nondet_records.push_back({step.nondet.name, v.Serialize()});
+        }
+        p->interp->ProvideValue(std::move(v));
+        break;  // Keep running; nondet calls are not scheduling points.
+      }
+    }
+  }
+}
+
+bool ManualExecutor::Step(RequestId rid) {
+  auto it = pending_.find(rid);
+  assert(it != pending_.end());
+  Pending& p = it->second;
+  if (p.done) {
+    return false;
+  }
+  return Advance(rid, &p);
+}
+
+void ManualExecutor::Finish(RequestId rid) {
+  auto it = pending_.find(rid);
+  assert(it != pending_.end());
+  Pending& p = it->second;
+  while (!p.done) {
+    Advance(rid, &p);
+  }
+  collector_->RecordResponse(rid, p.body);
+  pending_.erase(it);
+}
+
+void ManualExecutor::RunToCompletion(RequestId rid, const std::string& script,
+                                     RequestParams params) {
+  Begin(rid, script, std::move(params));
+  Finish(rid);
+}
+
+}  // namespace orochi

@@ -1,0 +1,61 @@
+// A single-threaded executor with explicit, scripted context switches at shared-object
+// operation boundaries. This is the concurrency model of paper §3.2 made deterministic:
+// tests use it to construct exact interleavings (e.g. the Figure 4 scenarios) and verify
+// that the audit accepts or rejects accordingly.
+#ifndef SRC_SERVER_MANUAL_EXECUTOR_H_
+#define SRC_SERVER_MANUAL_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/lang/interpreter.h"
+#include "src/server/application.h"
+#include "src/server/collector.h"
+#include "src/server/server_core.h"
+
+namespace orochi {
+
+class ManualExecutor {
+ public:
+  ManualExecutor(const Application* app, ServerCore* core, Collector* collector)
+      : app_(app), core_(core), collector_(collector) {}
+
+  // Records the REQUEST event and creates the request's execution context.
+  void Begin(RequestId rid, const std::string& script, RequestParams params);
+
+  // Runs the request up to and including its next shared-object operation (nondet calls
+  // are serviced transparently). Returns false when the request ran to its end (no state
+  // op remained) — the request still needs Finish() to deliver its response.
+  bool Step(RequestId rid);
+
+  // Runs any remaining work to completion and records the RESPONSE event.
+  void Finish(RequestId rid);
+
+  // Convenience: Begin + Finish.
+  void RunToCompletion(RequestId rid, const std::string& script, RequestParams params);
+
+ private:
+  struct Pending {
+    std::string script;
+    std::unique_ptr<RequestParams> params;  // Stable storage; the interpreter points at it.
+    std::unique_ptr<Interpreter> interp;    // Null for unknown scripts.
+    uint32_t opnum = 0;
+    std::vector<NondetRecord> nondet_records;
+    bool done = false;
+    std::string body;
+  };
+
+  // Advances until a state op is serviced (returns true), or the request completes or
+  // traps (returns false, setting done/body).
+  bool Advance(RequestId rid, Pending* p);
+
+  const Application* app_;
+  ServerCore* core_;
+  Collector* collector_;
+  std::map<RequestId, Pending> pending_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_SERVER_MANUAL_EXECUTOR_H_

@@ -1,0 +1,101 @@
+// The recording executor core: runs requests against live shared objects, capturing the
+// four report types (control-flow groupings, operation logs, op counts, non-determinism)
+// the way OROCHI's instrumented runtime does (paper §3, §4.3–§4.6).
+//
+// Report capture is untrusted by the verifier; here it is implemented faithfully so that
+// Completeness holds, and the tamper library (tamper.h) mutates the outputs to exercise
+// Soundness.
+#ifndef SRC_SERVER_SERVER_CORE_H_
+#define SRC_SERVER_SERVER_CORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/lang/interpreter.h"
+#include "src/objects/object_model.h"
+#include "src/objects/reports.h"
+#include "src/objects/stores.h"
+#include "src/server/application.h"
+#include "src/sql/database.h"
+
+namespace orochi {
+
+struct ServerOptions {
+  // When false the server behaves like the legacy (pre-OROCHI) deployment: no digests, no
+  // operation logs, no nondet records. Used as the baseline in Figure 8.
+  bool record_reports = true;
+};
+
+// Produces values for non-deterministic builtins and is shared between recording and
+// baseline configurations so both serve identical workloads.
+class NondetSource {
+ public:
+  NondetSource() : counter_(0) {}
+
+  Value Produce(const std::string& name, const std::vector<Value>& args);
+
+ private:
+  std::atomic<uint64_t> counter_;
+};
+
+class ServerCore {
+ public:
+  ServerCore(const Application* app, const InitialState& init, ServerOptions options = {});
+
+  // Runs one request to completion on the calling thread and returns the response body.
+  // Thread-safe; concurrent calls interleave at shared-object operations.
+  std::string HandleRequest(RequestId rid, const std::string& script,
+                            const RequestParams& params);
+
+  // Reports accumulated so far. Call after draining (no concurrent HandleRequest).
+  const Reports& reports() const { return reports_; }
+  Reports TakeReports() { return std::move(reports_); }
+
+  // End-of-period object state: becomes the next audit's InitialState (§4.5).
+  InitialState SnapshotState() const;
+
+  // Total CPU seconds spent inside HandleRequest across all threads (Figure 8 server
+  // overhead is measured on this).
+  double TotalCpuSeconds() const { return cpu_ns_.load() * 1e-9; }
+  uint64_t RequestsServed() const { return requests_served_.load(); }
+
+  // --- Low-level API used by ManualExecutor (scripted interleavings) ---
+
+  // Performs a state op against live objects, appending to the op log under the same lock
+  // so log order equals the real operation order.
+  Value PerformStateOp(RequestId rid, uint32_t opnum, const StateOpRequest& op);
+  // Produces (and lets the caller record) a nondet value.
+  Value ProduceNondet(const std::string& name, const std::vector<Value>& args) {
+    return nondet_.Produce(name, args);
+  }
+  // Registers the end-of-request bookkeeping: group membership, op count, nondet records.
+  void FinalizeRequest(RequestId rid, uint64_t tag, uint32_t op_count,
+                       std::vector<NondetRecord> nondet_records);
+  bool recording() const { return options_.record_reports; }
+
+ private:
+  int ObjectIdFor(ObjectKind kind, const std::string& name);
+
+  const Application* app_;
+  ServerOptions options_;
+
+  RegisterStore registers_;
+  KvStore kv_;
+  Database db_;
+  std::mutex reg_mu_;   // Guards registers_ ops + their logs.
+  std::mutex kv_mu_;    // Guards kv_ ops + its log.
+  std::mutex db_mu_;    // Guards db_ ops + its log (global lock = strict serializability).
+  std::mutex report_mu_;  // Guards reports_ bookkeeping (object table, groups, counts).
+
+  NondetSource nondet_;
+  Reports reports_;
+  std::atomic<uint64_t> cpu_ns_{0};
+  std::atomic<uint64_t> requests_served_{0};
+};
+
+}  // namespace orochi
+
+#endif  // SRC_SERVER_SERVER_CORE_H_

@@ -1,0 +1,128 @@
+#include "src/server/tamper.h"
+
+#include <algorithm>
+
+namespace orochi {
+
+namespace {
+
+TraceEvent* FindResponse(Trace* trace, RequestId rid) {
+  for (TraceEvent& e : trace->events) {
+    if (e.kind == TraceEvent::Kind::kResponse && e.rid == rid) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+bool TamperResponseBody(Trace* trace, RequestId rid, const std::string& new_body) {
+  TraceEvent* e = FindResponse(trace, rid);
+  if (e == nullptr) {
+    return false;
+  }
+  e->body = new_body;
+  return true;
+}
+
+bool SwapResponseBodies(Trace* trace, RequestId r1, RequestId r2) {
+  TraceEvent* e1 = FindResponse(trace, r1);
+  TraceEvent* e2 = FindResponse(trace, r2);
+  if (e1 == nullptr || e2 == nullptr) {
+    return false;
+  }
+  std::swap(e1->body, e2->body);
+  return true;
+}
+
+bool SwapLogEntries(Reports* reports, size_t object, size_t idx1, size_t idx2) {
+  if (object >= reports->op_logs.size()) {
+    return false;
+  }
+  auto& log = reports->op_logs[object];
+  if (idx1 >= log.size() || idx2 >= log.size()) {
+    return false;
+  }
+  std::swap(log[idx1], log[idx2]);
+  return true;
+}
+
+bool DropLogEntry(Reports* reports, size_t object, size_t idx) {
+  if (object >= reports->op_logs.size()) {
+    return false;
+  }
+  auto& log = reports->op_logs[object];
+  if (idx >= log.size()) {
+    return false;
+  }
+  log.erase(log.begin() + static_cast<ptrdiff_t>(idx));
+  return true;
+}
+
+bool InsertSpuriousOp(Reports* reports, size_t object, size_t idx, RequestId rid,
+                      uint32_t opnum) {
+  if (object >= reports->op_logs.size()) {
+    return false;
+  }
+  auto& log = reports->op_logs[object];
+  if (idx >= log.size()) {
+    return false;
+  }
+  OpRecord copy = log[idx];
+  copy.rid = rid;
+  copy.opnum = opnum;
+  log.insert(log.begin() + static_cast<ptrdiff_t>(idx), std::move(copy));
+  return true;
+}
+
+bool TamperLogContents(Reports* reports, size_t object, size_t idx,
+                       const std::string& new_contents) {
+  if (object >= reports->op_logs.size()) {
+    return false;
+  }
+  auto& log = reports->op_logs[object];
+  if (idx >= log.size()) {
+    return false;
+  }
+  log[idx].contents = new_contents;
+  return true;
+}
+
+bool TamperOpCount(Reports* reports, RequestId rid, uint32_t new_count) {
+  auto it = reports->op_counts.find(rid);
+  if (it == reports->op_counts.end()) {
+    return false;
+  }
+  it->second = new_count;
+  return true;
+}
+
+bool MoveRequestToGroup(Reports* reports, RequestId rid, uint64_t new_tag) {
+  for (auto& [tag, rids] : reports->groups) {
+    auto it = std::find(rids.begin(), rids.end(), rid);
+    if (it != rids.end()) {
+      if (tag == new_tag) {
+        return true;
+      }
+      rids.erase(it);
+      if (rids.empty()) {
+        reports->groups.erase(tag);
+      }
+      reports->groups[new_tag].push_back(rid);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool TamperNondet(Reports* reports, RequestId rid, size_t idx, const Value& new_value) {
+  auto it = reports->nondet.find(rid);
+  if (it == reports->nondet.end() || idx >= it->second.size()) {
+    return false;
+  }
+  it->second[idx].value = new_value.Serialize();
+  return true;
+}
+
+}  // namespace orochi

@@ -1,0 +1,45 @@
+// Adversarial mutations of responses and reports, used to exercise the audit's Soundness:
+// each models a class of executor misbehaviour the paper's verifier must catch (§2, §3.4).
+#ifndef SRC_SERVER_TAMPER_H_
+#define SRC_SERVER_TAMPER_H_
+
+#include <string>
+
+#include "src/lang/value.h"
+#include "src/objects/reports.h"
+#include "src/objects/trace.h"
+
+namespace orochi {
+
+// Replaces the response body of `rid` in the trace. Returns false when rid has no response.
+bool TamperResponseBody(Trace* trace, RequestId rid, const std::string& new_body);
+
+// Swaps the response bodies of two requests.
+bool SwapResponseBodies(Trace* trace, RequestId r1, RequestId r2);
+
+// Swaps two entries of object i's operation log (forging the claimed operation order).
+bool SwapLogEntries(Reports* reports, size_t object, size_t idx1, size_t idx2);
+
+// Deletes one log entry (hiding an operation).
+bool DropLogEntry(Reports* reports, size_t object, size_t idx);
+
+// Inserts a spurious copy of an existing entry with the given rid/opnum.
+bool InsertSpuriousOp(Reports* reports, size_t object, size_t idx, RequestId rid,
+                      uint32_t opnum);
+
+// Overwrites the logged contents of a write operation (forging the written value).
+bool TamperLogContents(Reports* reports, size_t object, size_t idx,
+                       const std::string& new_contents);
+
+// Misstates M(rid).
+bool TamperOpCount(Reports* reports, RequestId rid, uint32_t new_count);
+
+// Moves a request into a different (existing or fresh) control-flow group.
+bool MoveRequestToGroup(Reports* reports, RequestId rid, uint64_t new_tag);
+
+// Overwrites the i-th recorded nondet value for a request.
+bool TamperNondet(Reports* reports, RequestId rid, size_t idx, const Value& new_value);
+
+}  // namespace orochi
+
+#endif  // SRC_SERVER_TAMPER_H_

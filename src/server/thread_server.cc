@@ -1,0 +1,67 @@
+#include "src/server/thread_server.h"
+
+namespace orochi {
+
+ThreadServer::ThreadServer(ServerCore* core, Collector* collector, int num_workers)
+    : core_(core), collector_(collector) {
+  for (int i = 0; i < num_workers; i++) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadServer::~ThreadServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void ThreadServer::Submit(RequestId rid, std::string script, RequestParams params,
+                          CompletionFn on_complete) {
+  // The collector observes the request the moment it reaches the server boundary.
+  collector_->RecordRequest(rid, script, params);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back({rid, std::move(script), std::move(params), std::move(on_complete)});
+    in_flight_++;
+  }
+  cv_.notify_one();
+}
+
+void ThreadServer::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadServer::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_.
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    std::string body = core_->HandleRequest(job.rid, job.script, job.params);
+    collector_->RecordResponse(job.rid, body);
+    if (job.on_complete) {
+      job.on_complete(job.rid, body);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_--;
+      if (in_flight_ == 0) {
+        drain_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace orochi

@@ -1,0 +1,64 @@
+// A thread-pooled front end over ServerCore plus the collector: the full "executor +
+// middlebox" assembly of Figure 1. Clients submit requests; workers run them concurrently;
+// the collector sees every request at submission and every response at delivery.
+#ifndef SRC_SERVER_THREAD_SERVER_H_
+#define SRC_SERVER_THREAD_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/server/collector.h"
+#include "src/server/server_core.h"
+
+namespace orochi {
+
+class ThreadServer {
+ public:
+  // Called on the worker thread after the response is delivered (optional; used by the
+  // latency benchmark to timestamp completions).
+  using CompletionFn = std::function<void(RequestId, const std::string& body)>;
+
+  ThreadServer(ServerCore* core, Collector* collector, int num_workers);
+  ~ThreadServer();
+
+  ThreadServer(const ThreadServer&) = delete;
+  ThreadServer& operator=(const ThreadServer&) = delete;
+
+  // Records the request with the collector and enqueues it. Non-blocking.
+  void Submit(RequestId rid, std::string script, RequestParams params,
+              CompletionFn on_complete = nullptr);
+
+  // Blocks until every submitted request has been served ("draining the server before an
+  // audit", §4.7).
+  void Drain();
+
+ private:
+  struct Job {
+    RequestId rid;
+    std::string script;
+    RequestParams params;
+    CompletionFn on_complete;
+  };
+
+  void WorkerLoop();
+
+  ServerCore* core_;
+  Collector* collector_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable drain_cv_;
+  std::deque<Job> queue_;
+  uint64_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_SERVER_THREAD_SERVER_H_

@@ -1,0 +1,54 @@
+// Plain (unversioned) in-memory SQL database: the substrate the online server executes
+// against. One global lock in the server layer makes transactions strictly serializable
+// (paper §4.4's first DB restriction, met by construction here).
+#ifndef SRC_SQL_DATABASE_H_
+#define SRC_SQL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sql/sql_ast.h"
+#include "src/sql/sql_value.h"
+
+namespace orochi {
+
+class Database {
+ public:
+  struct TxnResult {
+    bool committed = false;
+    std::vector<StmtResult> results;
+    std::string error;  // Set when aborted.
+  };
+
+  Result<StmtResult> Execute(const SqlStatement& stmt);
+  Result<StmtResult> ExecuteText(const std::string& sql);
+
+  // Executes all statements atomically: an error aborts and rolls back every effect.
+  // (Paper §4.4: multi-statement transactions may not nest other object operations; that
+  // restriction lives in the application layer.)
+  TxnResult ExecuteTransaction(const std::vector<std::string>& stmts);
+
+  bool HasTable(const std::string& name) const { return tables_.count(name) > 0; }
+  std::vector<std::string> TableNames() const;
+  size_t RowCount(const std::string& table) const;
+  const std::vector<ColumnDef>* Schema(const std::string& table) const;
+  // Raw row access (the verifier loads the initial snapshot into versioned storage).
+  const std::vector<SqlRow>* Rows(const std::string& table) const;
+
+  // Approximate resident bytes (benchmark reporting: Figure 8 "DB overhead" columns).
+  size_t ApproximateBytes() const;
+
+ private:
+  struct Table {
+    std::vector<ColumnDef> schema;
+    std::vector<SqlRow> rows;
+  };
+
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_SQL_DATABASE_H_

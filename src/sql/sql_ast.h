@@ -1,0 +1,87 @@
+// AST for the SQL subset understood by the database substrate:
+//   CREATE TABLE t (c TYPE, ...)
+//   INSERT INTO t (c, ...) VALUES (e, ...), ...
+//   SELECT */cols/aggregates FROM t [WHERE e] [ORDER BY c [ASC|DESC], ...] [LIMIT n]
+//   UPDATE t SET c = e, ... [WHERE e]
+//   DELETE FROM t [WHERE e]
+// Expressions: literals, column refs, arithmetic, comparisons, AND/OR/NOT, parentheses.
+#ifndef SRC_SQL_SQL_AST_H_
+#define SRC_SQL_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sql/sql_value.h"
+
+namespace orochi {
+
+struct SqlExpr;
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+enum class SqlExprKind : uint8_t {
+  kLiteral,
+  kColumn,
+  kBinary,  // arithmetic or comparison
+  kAnd,
+  kOr,
+  kNot,
+};
+
+enum class SqlBinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+};
+
+struct SqlExpr {
+  SqlExprKind kind;
+  SqlValue literal;      // kLiteral.
+  std::string column;    // kColumn.
+  SqlBinOp op = SqlBinOp::kEq;
+  SqlExprPtr a;
+  SqlExprPtr b;
+};
+
+enum class SqlAgg : uint8_t { kNone, kCountStar, kCount, kSum, kMax, kMin };
+
+// One item in a SELECT list: a bare column, '*', or an aggregate over a column, with an
+// optional `AS alias`.
+struct SelectItem {
+  SqlAgg agg = SqlAgg::kNone;
+  bool star = false;     // SELECT * (agg == kNone) or COUNT(*) (agg == kCountStar).
+  std::string column;
+  std::string alias;     // Result column name override.
+};
+
+struct OrderBy {
+  std::string column;
+  bool descending = false;
+};
+
+enum class SqlStmtKind : uint8_t { kCreateTable, kInsert, kSelect, kUpdate, kDelete };
+
+struct ColumnDef {
+  std::string name;
+  SqlType type;
+};
+
+struct SqlStatement {
+  SqlStmtKind kind;
+  std::string table;
+
+  std::vector<ColumnDef> columns;            // CREATE TABLE.
+  std::vector<std::string> insert_columns;   // INSERT.
+  std::vector<std::vector<SqlExprPtr>> insert_rows;
+
+  std::vector<SelectItem> select_items;      // SELECT.
+  std::vector<OrderBy> order_by;
+  int64_t limit = -1;                        // -1 = no limit.
+
+  std::vector<std::pair<std::string, SqlExprPtr>> set_items;  // UPDATE.
+
+  SqlExprPtr where;                          // SELECT/UPDATE/DELETE (may be null).
+};
+
+}  // namespace orochi
+
+#endif  // SRC_SQL_SQL_AST_H_

@@ -1,0 +1,35 @@
+// Expression evaluation and SELECT execution shared by the plain and versioned engines.
+#ifndef SRC_SQL_SQL_EVAL_H_
+#define SRC_SQL_SQL_EVAL_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sql/sql_ast.h"
+#include "src/sql/sql_value.h"
+
+namespace orochi {
+
+// Resolves a column name in a schema; -1 when absent.
+int ColumnIndex(const std::vector<ColumnDef>& schema, const std::string& name);
+
+// Evaluates an expression against one row.
+Result<SqlValue> EvalSqlExpr(const SqlExpr& e, const std::vector<ColumnDef>& schema,
+                             const SqlRow& row);
+
+// Evaluates a WHERE clause (null clause = true).
+Result<bool> EvalWhere(const SqlExpr* where, const std::vector<ColumnDef>& schema,
+                       const SqlRow& row);
+
+// Runs the projection / aggregation / ORDER BY / LIMIT pipeline of a SELECT over an
+// already-filtered row set.
+Result<StmtResult> RunSelectPipeline(const SqlStatement& stmt,
+                                     const std::vector<ColumnDef>& schema,
+                                     std::vector<const SqlRow*> rows);
+
+// Coerces a value to a column type (numeric columns parse text; text renders numbers).
+SqlValue CoerceToColumnType(const SqlValue& v, SqlType type);
+
+}  // namespace orochi
+
+#endif  // SRC_SQL_SQL_EVAL_H_

@@ -1,0 +1,18 @@
+// SQL lexer + recursive-descent parser for the supported subset (see sql_ast.h).
+#ifndef SRC_SQL_SQL_PARSER_H_
+#define SRC_SQL_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/sql/sql_ast.h"
+
+namespace orochi {
+
+// Parses a single SQL statement (a trailing ';' is tolerated). Untrusted inputs (the audit
+// replays SQL text from reports) must never crash the parser.
+Result<SqlStatement> ParseSql(const std::string& sql);
+
+}  // namespace orochi
+
+#endif  // SRC_SQL_SQL_PARSER_H_

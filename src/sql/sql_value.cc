@@ -1,0 +1,81 @@
+#include "src/sql/sql_value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace orochi {
+
+double SqlValue::ToFloat() const {
+  if (is_int()) {
+    return static_cast<double>(as_int());
+  }
+  if (is_float()) {
+    return as_float();
+  }
+  if (is_text()) {
+    char* end = nullptr;
+    double v = std::strtod(as_text().c_str(), &end);
+    return end == as_text().c_str() ? 0.0 : v;
+  }
+  return 0.0;
+}
+
+int64_t SqlValue::ToInt() const {
+  if (is_int()) {
+    return as_int();
+  }
+  if (is_float()) {
+    return static_cast<int64_t>(as_float());
+  }
+  if (is_text()) {
+    char* end = nullptr;
+    long long v = std::strtoll(as_text().c_str(), &end, 10);
+    return end == as_text().c_str() ? 0 : v;
+  }
+  return 0;
+}
+
+std::string SqlValue::ToText() const {
+  if (is_text()) {
+    return as_text();
+  }
+  if (is_int()) {
+    return std::to_string(as_int());
+  }
+  if (is_float()) {
+    double d = as_float();
+    if (d == std::floor(d) && std::fabs(d) < 1e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+      return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.14g", d);
+    return buf;
+  }
+  return "";
+}
+
+int CompareSqlValues(const SqlValue& a, const SqlValue& b) {
+  // NULL sorts first and equals only NULL.
+  if (a.is_null() || b.is_null()) {
+    if (a.is_null() && b.is_null()) {
+      return 0;
+    }
+    return a.is_null() ? -1 : 1;
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    double x = a.ToFloat();
+    double y = b.ToFloat();
+    return x < y ? -1 : x > y ? 1 : 0;
+  }
+  if (a.is_text() && b.is_text()) {
+    int c = a.as_text().compare(b.as_text());
+    return c < 0 ? -1 : c > 0 ? 1 : 0;
+  }
+  // Mixed numeric/text: numbers sort before text (deterministic rule).
+  return a.is_numeric() ? -1 : 1;
+}
+
+}  // namespace orochi

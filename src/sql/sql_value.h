@@ -1,0 +1,66 @@
+// SQL cell values and result sets for the in-memory database substrate.
+#ifndef SRC_SQL_SQL_VALUE_H_
+#define SRC_SQL_SQL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace orochi {
+
+enum class SqlType : uint8_t { kInt, kFloat, kText };
+
+// A cell: NULL, 64-bit integer, double, or text.
+class SqlValue {
+ public:
+  SqlValue() : rep_(std::monostate{}) {}
+  static SqlValue Null() { return SqlValue(); }
+  static SqlValue Int(int64_t v) { return SqlValue(Rep(v)); }
+  static SqlValue Float(double v) { return SqlValue(Rep(v)); }
+  static SqlValue Text(std::string v) { return SqlValue(Rep(std::move(v))); }
+
+  bool is_null() const { return rep_.index() == 0; }
+  bool is_int() const { return rep_.index() == 1; }
+  bool is_float() const { return rep_.index() == 2; }
+  bool is_text() const { return rep_.index() == 3; }
+  bool is_numeric() const { return is_int() || is_float(); }
+
+  int64_t as_int() const { return std::get<int64_t>(rep_); }
+  double as_float() const { return std::get<double>(rep_); }
+  const std::string& as_text() const { return std::get<std::string>(rep_); }
+
+  double ToFloat() const;
+  int64_t ToInt() const;
+  std::string ToText() const;
+
+  bool operator==(const SqlValue& o) const { return rep_ == o.rep_; }
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit SqlValue(Rep rep) : rep_(std::move(rep)) {}
+  Rep rep_;
+};
+
+// SQL three-valued-ish comparison flattened to deterministic two-valued semantics:
+// NULL sorts before everything and equals only NULL (documented deviation; our substrate
+// does not model SQL's UNKNOWN).
+int CompareSqlValues(const SqlValue& a, const SqlValue& b);
+
+using SqlRow = std::vector<SqlValue>;
+
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<SqlRow> rows;
+};
+
+// The outcome of one SQL statement.
+struct StmtResult {
+  bool is_rows = false;
+  ResultSet rows;        // SELECT.
+  int64_t affected = 0;  // INSERT/UPDATE/DELETE (rows touched); CREATE TABLE = 0.
+};
+
+}  // namespace orochi
+
+#endif  // SRC_SQL_SQL_VALUE_H_

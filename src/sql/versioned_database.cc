@@ -1,0 +1,281 @@
+#include "src/sql/versioned_database.h"
+
+#include <algorithm>
+
+#include "src/sql/sql_eval.h"
+#include "src/sql/sql_parser.h"
+
+namespace orochi {
+
+namespace {
+constexpr uint64_t kOpenEnd = UINT64_MAX;
+}
+
+void VersionedDatabase::NoteModification(VTable* t, uint64_t ts) {
+  if (t->mod_timestamps.empty() || t->mod_timestamps.back() != ts) {
+    t->mod_timestamps.push_back(ts);
+  }
+}
+
+Result<StmtResult> VersionedDatabase::ApplyWriteText(const std::string& sql, uint64_t ts) {
+  Result<SqlStatement> stmt = ParseSql(sql);
+  if (!stmt.ok()) {
+    return Result<StmtResult>::Error(stmt.error());
+  }
+  return ApplyWrite(stmt.value(), ts);
+}
+
+Result<StmtResult> VersionedDatabase::ApplyWrite(const SqlStatement& stmt, uint64_t ts,
+                                                 bool commit) {
+  switch (stmt.kind) {
+    case SqlStmtKind::kCreateTable: {
+      if (tables_.count(stmt.table) > 0) {
+        return Result<StmtResult>::Error("table '" + stmt.table + "' already exists");
+      }
+      if (commit) {
+        VTable t;
+        t.schema = stmt.columns;
+        NoteModification(&t, ts);
+        tables_.emplace(stmt.table, std::move(t));
+      }
+      StmtResult r;
+      r.is_rows = false;
+      return r;
+    }
+    case SqlStmtKind::kInsert: {
+      auto it = tables_.find(stmt.table);
+      if (it == tables_.end()) {
+        return Result<StmtResult>::Error("no such table '" + stmt.table + "'");
+      }
+      VTable& t = it->second;
+      std::vector<int> targets;
+      for (const std::string& col : stmt.insert_columns) {
+        int idx = ColumnIndex(t.schema, col);
+        if (idx < 0) {
+          return Result<StmtResult>::Error("unknown column '" + col + "'");
+        }
+        targets.push_back(idx);
+      }
+      static const SqlRow kEmptyRow;
+      int64_t inserted = 0;
+      for (const auto& exprs : stmt.insert_rows) {
+        SqlRow row(t.schema.size(), SqlValue::Null());
+        for (size_t i = 0; i < exprs.size(); i++) {
+          Result<SqlValue> v = EvalSqlExpr(*exprs[i], t.schema, kEmptyRow);
+          if (!v.ok()) {
+            return Result<StmtResult>::Error(v.error());
+          }
+          size_t idx = static_cast<size_t>(targets[i]);
+          row[idx] = CoerceToColumnType(v.value(), t.schema[idx].type);
+        }
+        if (commit) {
+          t.rows.push_back({ts, kOpenEnd, std::move(row)});
+        }
+        inserted++;
+      }
+      if (commit && inserted > 0) {
+        NoteModification(&t, ts);
+      }
+      StmtResult r;
+      r.is_rows = false;
+      r.affected = inserted;
+      return r;
+    }
+    case SqlStmtKind::kUpdate: {
+      auto it = tables_.find(stmt.table);
+      if (it == tables_.end()) {
+        return Result<StmtResult>::Error("no such table '" + stmt.table + "'");
+      }
+      VTable& t = it->second;
+      std::vector<std::pair<int, const SqlExpr*>> sets;
+      for (const auto& [col, expr] : stmt.set_items) {
+        int idx = ColumnIndex(t.schema, col);
+        if (idx < 0) {
+          return Result<StmtResult>::Error("unknown column '" + col + "'");
+        }
+        sets.emplace_back(idx, expr.get());
+      }
+      // Stage: find visible matching rows, compute successors, then commit.
+      std::vector<std::pair<size_t, SqlRow>> staged;
+      for (size_t ri = 0; ri < t.rows.size(); ri++) {
+        VRow& vrow = t.rows[ri];
+        if (!(vrow.start_ts <= ts && ts < vrow.end_ts)) {
+          continue;
+        }
+        Result<bool> match = EvalWhere(stmt.where.get(), t.schema, vrow.values);
+        if (!match.ok()) {
+          return Result<StmtResult>::Error(match.error());
+        }
+        if (!match.value()) {
+          continue;
+        }
+        SqlRow updated = vrow.values;
+        for (const auto& [idx, expr] : sets) {
+          Result<SqlValue> v = EvalSqlExpr(*expr, t.schema, vrow.values);
+          if (!v.ok()) {
+            return Result<StmtResult>::Error(v.error());
+          }
+          size_t i = static_cast<size_t>(idx);
+          updated[i] = CoerceToColumnType(v.value(), t.schema[i].type);
+        }
+        staged.emplace_back(ri, std::move(updated));
+      }
+      if (commit) {
+        for (auto& [ri, updated] : staged) {
+          t.rows[ri].end_ts = ts;
+          t.rows.push_back({ts, kOpenEnd, std::move(updated)});
+        }
+        if (!staged.empty()) {
+          NoteModification(&t, ts);
+        }
+      }
+      StmtResult r;
+      r.is_rows = false;
+      r.affected = static_cast<int64_t>(staged.size());
+      return r;
+    }
+    case SqlStmtKind::kDelete: {
+      auto it = tables_.find(stmt.table);
+      if (it == tables_.end()) {
+        return Result<StmtResult>::Error("no such table '" + stmt.table + "'");
+      }
+      VTable& t = it->second;
+      std::vector<size_t> doomed;
+      for (size_t ri = 0; ri < t.rows.size(); ri++) {
+        const VRow& vrow = t.rows[ri];
+        if (!(vrow.start_ts <= ts && ts < vrow.end_ts)) {
+          continue;
+        }
+        Result<bool> match = EvalWhere(stmt.where.get(), t.schema, vrow.values);
+        if (!match.ok()) {
+          return Result<StmtResult>::Error(match.error());
+        }
+        if (match.value()) {
+          doomed.push_back(ri);
+        }
+      }
+      if (commit) {
+        for (size_t ri : doomed) {
+          t.rows[ri].end_ts = ts;
+        }
+        if (!doomed.empty()) {
+          NoteModification(&t, ts);
+        }
+      }
+      StmtResult r;
+      r.is_rows = false;
+      r.affected = static_cast<int64_t>(doomed.size());
+      return r;
+    }
+    case SqlStmtKind::kSelect:
+      return Result<StmtResult>::Error("ApplyWrite: SELECT is not a write");
+  }
+  return Result<StmtResult>::Error("internal: bad statement kind");
+}
+
+Result<StmtResult> VersionedDatabase::SelectText(const std::string& sql, uint64_t ts) const {
+  Result<SqlStatement> stmt = ParseSql(sql);
+  if (!stmt.ok()) {
+    return Result<StmtResult>::Error(stmt.error());
+  }
+  return Select(stmt.value(), ts);
+}
+
+Result<StmtResult> VersionedDatabase::Select(const SqlStatement& stmt, uint64_t ts) const {
+  if (stmt.kind != SqlStmtKind::kSelect) {
+    return Result<StmtResult>::Error("Select: not a SELECT statement");
+  }
+  auto it = tables_.find(stmt.table);
+  if (it == tables_.end()) {
+    return Result<StmtResult>::Error("no such table '" + stmt.table + "'");
+  }
+  const VTable& t = it->second;
+  std::vector<const SqlRow*> filtered;
+  for (const VRow& vrow : t.rows) {
+    if (!(vrow.start_ts <= ts && ts < vrow.end_ts)) {
+      continue;
+    }
+    Result<bool> keep = EvalWhere(stmt.where.get(), t.schema, vrow.values);
+    if (!keep.ok()) {
+      return Result<StmtResult>::Error(keep.error());
+    }
+    if (keep.value()) {
+      filtered.push_back(&vrow.values);
+    }
+  }
+  return RunSelectPipeline(stmt, t.schema, std::move(filtered));
+}
+
+bool VersionedDatabase::TableModifiedBetween(const std::string& table, uint64_t from_ts,
+                                             uint64_t to_ts) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    // Unknown tables are conservatively "modified" so dedup never fabricates results.
+    return true;
+  }
+  const std::vector<uint64_t>& mods = it->second.mod_timestamps;
+  // First modification timestamp strictly greater than from_ts.
+  auto lo = std::upper_bound(mods.begin(), mods.end(), from_ts);
+  return lo != mods.end() && *lo <= to_ts;
+}
+
+Database VersionedDatabase::LatestState() const {
+  Database db;
+  for (const auto& [name, t] : tables_) {
+    SqlStatement create;
+    create.kind = SqlStmtKind::kCreateTable;
+    create.table = name;
+    create.columns = t.schema;
+    Result<StmtResult> r = db.Execute(create);
+    (void)r;
+    // Bulk-insert current rows (the "migration" of §4.5, collapsed to a single pass since
+    // both stores are in-memory here).
+    SqlStatement insert;
+    insert.kind = SqlStmtKind::kInsert;
+    insert.table = name;
+    for (const ColumnDef& c : t.schema) {
+      insert.insert_columns.push_back(c.name);
+    }
+    for (const VRow& vrow : t.rows) {
+      if (vrow.end_ts != kOpenEnd) {
+        continue;
+      }
+      std::vector<SqlExprPtr> exprs;
+      for (const SqlValue& v : vrow.values) {
+        auto e = std::make_unique<SqlExpr>();
+        e->kind = SqlExprKind::kLiteral;
+        e->literal = v;
+        exprs.push_back(std::move(e));
+      }
+      insert.insert_rows.push_back(std::move(exprs));
+    }
+    if (!insert.insert_rows.empty()) {
+      Result<StmtResult> ri = db.Execute(insert);
+      (void)ri;
+    }
+  }
+  return db;
+}
+
+size_t VersionedDatabase::ApproximateBytes() const {
+  size_t bytes = 0;
+  for (const auto& [name, t] : tables_) {
+    bytes += name.size() + 64;
+    for (const VRow& vrow : t.rows) {
+      bytes += 16 + 16 * vrow.values.size();
+      for (const SqlValue& v : vrow.values) {
+        if (v.is_text()) {
+          bytes += v.as_text().size();
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+size_t VersionedDatabase::VersionedRowCount(const std::string& table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second.rows.size();
+}
+
+}  // namespace orochi

@@ -1,0 +1,77 @@
+// Audit-time versioned database (paper §4.5, §A.7).
+//
+// Rows carry [start_ts, end_ts) validity intervals (the Warp schema). During the redo pass
+// the verifier replays every logged transaction, stamping query q of transaction s with
+// ts = s * kMaxQueriesPerTxn + q; a re-executed SELECT at timestamp ts then sees exactly the
+// state the online execution saw. Per-table modification timestamps support read-query
+// deduplication: two lexically identical SELECTs at versions v1 < v2 can share a result when
+// no touched table was modified in (v1, v2].
+#ifndef SRC_SQL_VERSIONED_DATABASE_H_
+#define SRC_SQL_VERSIONED_DATABASE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sql/database.h"
+#include "src/sql/sql_ast.h"
+#include "src/sql/sql_value.h"
+
+namespace orochi {
+
+class VersionedDatabase {
+ public:
+  // MAXQ from the paper's implementation (§A.7): query q of transaction s gets
+  // ts = s * kMaxQueriesPerTxn + q. q is 1-based; s is the 1-based log sequence number.
+  static constexpr uint64_t kMaxQueriesPerTxn = 10000;
+
+  static uint64_t MakeTimestamp(uint64_t seqnum, uint64_t query_index) {
+    return seqnum * kMaxQueriesPerTxn + query_index;
+  }
+
+  // Applies one write statement (CREATE/INSERT/UPDATE/DELETE) at timestamp ts. Timestamps
+  // must be applied in non-decreasing order (the redo pass walks the log in order). With
+  // commit = false the statement is fully evaluated (staging included) but nothing
+  // mutates — used to validate the executor's claimed-failure ops (§4.6).
+  Result<StmtResult> ApplyWrite(const SqlStatement& stmt, uint64_t ts, bool commit = true);
+  Result<StmtResult> ApplyWriteText(const std::string& sql, uint64_t ts);
+
+  // Runs a SELECT as of timestamp ts (rows with start_ts <= ts < end_ts are visible).
+  Result<StmtResult> Select(const SqlStatement& stmt, uint64_t ts) const;
+  Result<StmtResult> SelectText(const std::string& sql, uint64_t ts) const;
+
+  // True when `table` was modified at any version in (from_ts, to_ts].
+  bool TableModifiedBetween(const std::string& table, uint64_t from_ts, uint64_t to_ts) const;
+
+  // Materializes the latest state (as of +infinity) into a plain database — the
+  // "permanent" copy the verifier keeps after the audit (§5.1), discarding versions.
+  Database LatestState() const;
+
+  // Approximate resident bytes including all versions (Figure 8 "temp DB overhead").
+  size_t ApproximateBytes() const;
+
+  size_t VersionedRowCount(const std::string& table) const;
+
+ private:
+  struct VRow {
+    uint64_t start_ts;
+    uint64_t end_ts;  // UINT64_MAX while current.
+    SqlRow values;
+  };
+
+  struct VTable {
+    std::vector<ColumnDef> schema;
+    std::vector<VRow> rows;
+    std::vector<uint64_t> mod_timestamps;  // Sorted (appends are monotone).
+  };
+
+  void NoteModification(VTable* t, uint64_t ts);
+
+  std::map<std::string, VTable> tables_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_SQL_VERSIONED_DATABASE_H_

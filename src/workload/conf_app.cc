@@ -1,0 +1,277 @@
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/rng.h"
+#include "src/workload/workloads.h"
+
+namespace orochi {
+
+namespace {
+
+const char* kPaperScript = R"WS(
+function conf_settings() {
+  $opts = array("sub_open", "sub_update", "sub_sub", "sub_reg", "rev_open", "rev_notify",
+                "rev_blind", "rev_rating", "au_seerev", "seedec", "resp_open", "resp_words",
+                "final_open", "final_soft", "final_done", "pc_seeall", "pcrev_any",
+                "pcrev_editdelegate", "extrev_chairreq", "extrev_view", "tag_vote",
+                "tag_rank", "tag_color", "track_viewer", "topics_required", "abstract_max",
+                "banal_m", "clickthrough", "mailer_from", "shepherd");
+  $settings = array();
+  foreach ($opts as $i => $o) {
+    $settings[$o] = ($i * 37 + 11) % 5 > 1;
+  }
+  return $settings;
+}
+
+function site_chrome($title) {
+  $settings = conf_settings();
+  $tabs = array("Home", "Search", "Your submissions", "Your reviews", "Profile", "Help",
+                "Sign out", "PC chair", "Assignments", "Offline reviewing");
+  $topics = array("Networking", "Storage", "Security", "OS", "Distributed systems",
+                  "Verification", "Databases", "Machine learning", "Measurement",
+                  "Mobile", "Energy", "Hardware");
+  $fields = array("title", "authors", "abstract", "pdf", "topics", "options", "conflicts",
+                  "collaborators", "contacts");
+  $html = "<html><head><title>" . htmlspecialchars($title) . "</title>";
+  $html = $html . "<link rel='stylesheet' href='/style.css'/><script src='/script.js'>" .
+          "</script></head><body><div id='tabs'>";
+  foreach ($tabs as $i => $tab) {
+    $html = $html . "<span class='tab tab" . $i . "'><a href='/conf/" .
+            strtolower(str_replace(" ", "", $tab)) . "'>" . htmlspecialchars($tab) .
+            "</a></span>";
+  }
+  $html = $html . "</div><div id='sidebar'><ul>";
+  foreach ($topics as $i => $t) {
+    $html = $html . "<li class='topic-" . $i . "'>" . htmlspecialchars($t) . " <span " .
+            "class='count'>(" . (7 + $i * 3) . ")</span></li>";
+  }
+  $html = $html . "</ul><div class='fields'>";
+  foreach ($fields as $f) {
+    $html = $html . "<span data-field='" . $f . "'>" . strtoupper(substr($f, 0, 1)) .
+            substr($f, 1) . "</span> ";
+  }
+  $html = $html . "</div>";
+  if ($settings["sub_open"]) {
+    $html = $html . "<div class='deadline'>submissions are open</div>";
+  }
+  $html = $html . "</div><div id='main'>";
+  return $html;
+}
+
+$paper = intval(input("paper"));
+$user = input("user");
+if (!isset($user)) { $user = "guest"; }
+$rows = db_query("SELECT id, title, abstract, author, updated FROM papers WHERE id = " . $paper);
+if (count($rows) == 0) {
+  echo "<html><body>no such paper</body></html>";
+  return;
+}
+$p = $rows[0];
+echo site_chrome("Paper " . $p["id"]);
+echo "<h1>#" . $p["id"] . ": " . htmlspecialchars($p["title"]) . "</h1>";
+echo "<div class='abstract'>" . htmlspecialchars($p["abstract"]) . "</div>";
+if ($user == $p["author"]) {
+  echo "<div class='notice'>you are the contact author; reviews are hidden until decisions</div>";
+} else {
+  $reviews = db_query("SELECT reviewer, body, version FROM reviews WHERE paper_id = " . $paper .
+                      " ORDER BY reviewer ASC, version DESC");
+  $shown = array();
+  foreach ($reviews as $r) {
+    if (!isset($shown[$r["reviewer"]])) {
+      $shown[$r["reviewer"]] = true;
+      echo "<div class='review'><b>" . htmlspecialchars($r["reviewer"]) . "</b> (v" .
+           $r["version"] . ")<br/>" . htmlspecialchars(substr($r["body"], 0, 400)) .
+           "</div>";
+    }
+  }
+  echo "<div class='count'>" . count($shown) . " reviews</div>";
+}
+echo "</div><div id='foot'>submissions close at 23:59 AoE</div></body></html>";
+)WS";
+
+const char* kSubmitScript = R"WS(
+$paper = intval(input("paper"));
+$user = input("user");
+if (!isset($user)) { $user = "guest"; }
+$title = input("title");
+if (!isset($title)) { $title = "untitled"; }
+$abstract = input("abstract");
+if (!isset($abstract)) { $abstract = ""; }
+$now = time();
+$rows = db_query("SELECT id FROM papers WHERE id = " . $paper);
+if (count($rows) == 0) {
+  db_query("INSERT INTO papers (id, title, abstract, author, updated) VALUES (" . $paper .
+           ", '" . sql_escape($title) . "', '" . sql_escape($abstract) . "', '" .
+           sql_escape($user) . "', " . $now . ")");
+  echo "<html><body>paper " . $paper . " submitted</body></html>";
+} else {
+  db_query("UPDATE papers SET title = '" . sql_escape($title) . "', abstract = '" .
+           sql_escape($abstract) . "', updated = " . $now . " WHERE id = " . $paper);
+  echo "<html><body>paper " . $paper . " updated</body></html>";
+}
+$sess = reg_read("csess:" . $user);
+if (!is_array($sess)) { $sess = array(); }
+$sess["submissions"] = intval($sess["submissions"]) + 1;
+reg_write("csess:" . $user, $sess);
+)WS";
+
+const char* kReviewScript = R"WS(
+$paper = intval(input("paper"));
+$user = input("user");
+if (!isset($user)) { $user = "guest"; }
+$body = input("body");
+if (!isset($body)) { $body = ""; }
+$now = time();
+$prev = db_query("SELECT max(version) AS v FROM reviews WHERE paper_id = " . $paper .
+                 " AND reviewer = '" . sql_escape($user) . "'");
+$version = intval($prev[0]["v"]) + 1;
+$res = db_txn(array(
+  "INSERT INTO reviews (paper_id, reviewer, body, version, created) VALUES (" . $paper .
+      ", '" . sql_escape($user) . "', '" . sql_escape($body) . "', " . $version . ", " .
+      $now . ")",
+  "UPDATE counts SET n = n + 1 WHERE paper_id = " . $paper
+));
+if ($res[0]) {
+  echo "<html><body>review v" . $version . " stored for paper " . $paper . "</body></html>";
+} else {
+  echo "<html><body>review failed</body></html>";
+}
+$sess = reg_read("csess:" . $user);
+if (!is_array($sess)) { $sess = array(); }
+$sess["reviews"] = intval($sess["reviews"]) + 1;
+reg_write("csess:" . $user, $sess);
+)WS";
+
+const char* kListScript = R"WS(
+$rows = db_query("SELECT id, title, author, updated FROM papers ORDER BY id ASC LIMIT 40");
+$counts = db_query("SELECT count(*) AS n FROM reviews");
+echo "<html><body><h1>Submissions</h1><ol>";
+foreach ($rows as $p) {
+  echo "<li>" . htmlspecialchars($p["title"]) . " (#" . $p["id"] . ")</li>";
+}
+echo "</ol><div>" . $counts[0]["n"] . " reviews in system</div></body></html>";
+)WS";
+
+std::string MakeText(Rng& rng, size_t target_len, const std::string& salt) {
+  static const char* kWords[] = {"the",      "protocol", "evaluation", "baseline",
+                                 "approach", "improves", "latency",    "throughput",
+                                 "analysis", "results"};
+  std::string out;
+  while (out.size() < target_len) {
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += kWords[rng.UniformInt(0, 9)];
+  }
+  out += " [" + salt + "]";
+  return out;
+}
+
+}  // namespace
+
+Application BuildConfApp() {
+  Application app;
+  Status st = app.AddScript("/conf/paper", kPaperScript);
+  assert(st.ok() && "conf paper script must compile");
+  st = app.AddScript("/conf/submit", kSubmitScript);
+  assert(st.ok() && "conf submit script must compile");
+  st = app.AddScript("/conf/review", kReviewScript);
+  assert(st.ok() && "conf review script must compile");
+  st = app.AddScript("/conf/list", kListScript);
+  assert(st.ok() && "conf list script must compile");
+  (void)st;
+  return app;
+}
+
+Workload MakeConfWorkload(const ConfConfig& config) {
+  Workload w;
+  w.name = "confrev";
+  w.app = BuildConfApp();
+
+  Rng rng(config.seed);
+  Result<StmtResult> r1 = w.initial.db.ExecuteText(
+      "CREATE TABLE papers (id INT, title TEXT, abstract TEXT, author TEXT, updated INT)");
+  Result<StmtResult> r2 = w.initial.db.ExecuteText(
+      "CREATE TABLE reviews (paper_id INT, reviewer TEXT, body TEXT, version INT, created INT)");
+  Result<StmtResult> r3 = w.initial.db.ExecuteText("CREATE TABLE counts (paper_id INT, n INT)");
+  assert(r1.ok() && r2.ok() && r3.ok());
+  (void)r1;
+  (void)r2;
+  (void)r3;
+  for (size_t p = 0; p < config.num_papers; p++) {
+    Result<StmtResult> rc = w.initial.db.ExecuteText(
+        "INSERT INTO counts (paper_id, n) VALUES (" + std::to_string(p) + ", 0)");
+    assert(rc.ok());
+    (void)rc;
+  }
+
+  // One registered author submits one valid paper, with U(1, max) updates (§5); the first
+  // submission inserts, subsequent ones update.
+  std::vector<WorkItem> items;
+  for (size_t p = 0; p < config.num_papers; p++) {
+    size_t updates = 1 + static_cast<size_t>(
+                             rng.UniformInt(0, static_cast<int64_t>(config.max_updates_per_paper) - 1));
+    for (size_t u = 0; u < updates; u++) {
+      WorkItem item;
+      item.script = "/conf/submit";
+      item.params["paper"] = std::to_string(p);
+      item.params["user"] = "author" + std::to_string(p);
+      item.params["title"] = "A Study of Topic " + std::to_string(p) + " rev " +
+                             std::to_string(u);
+      item.params["abstract"] = MakeText(rng, 280, "p" + std::to_string(p));
+      items.push_back(std::move(item));
+    }
+  }
+  // Each paper gets ~3 reviews; each reviewer submits two versions of each review (§5).
+  size_t reviews_made = 0;
+  for (size_t p = 0; p < config.num_papers && reviews_made < config.reviews_target; p++) {
+    for (int k = 0; k < 3 && reviews_made < config.reviews_target; k++) {
+      std::string reviewer =
+          "rev" + std::to_string(rng.UniformInt(0, static_cast<int64_t>(config.num_reviewers) - 1));
+      for (int version = 0; version < 2; version++) {
+        WorkItem item;
+        item.script = "/conf/review";
+        item.params["paper"] = std::to_string(p);
+        item.params["user"] = reviewer;
+        item.params["body"] =
+            MakeText(rng, config.review_length, "r" + std::to_string(reviews_made));
+        items.push_back(std::move(item));
+      }
+      reviews_made++;
+    }
+  }
+  // Each reviewer views paper pages (and occasionally the list). Interest concentrates on
+  // a subset of papers (discussion-heavy submissions), like the Zipf page mix of §5.
+  ZipfSampler paper_zipf(config.num_papers, 1.0);
+  for (size_t r = 0; r < config.num_reviewers; r++) {
+    for (size_t v = 0; v < config.views_per_reviewer; v++) {
+      WorkItem item;
+      if (rng.Chance(0.06)) {
+        item.script = "/conf/list";
+      } else {
+        item.script = "/conf/paper";
+        item.params["paper"] = std::to_string(paper_zipf.Sample(rng));
+        item.params["user"] = "rev" + std::to_string(r);
+      }
+      items.push_back(std::move(item));
+    }
+  }
+  // Arrival order follows the real lifecycle: submissions cluster early, reviews and page
+  // views cluster late, with jitter. (A uniform shuffle would interleave updates between
+  // every view, which no conference timeline does.)
+  std::vector<std::pair<double, size_t>> order;
+  order.reserve(items.size());
+  for (size_t i = 0; i < items.size(); i++) {
+    double phase = items[i].script == "/conf/submit" ? 0.0 : 1.0;
+    order.emplace_back(phase + rng.UniformDouble(), i);
+  }
+  std::sort(order.begin(), order.end());
+  w.items.reserve(items.size());
+  for (const auto& [key, idx] : order) {
+    (void)key;
+    w.items.push_back(std::move(items[idx]));
+  }
+  return w;
+}
+
+}  // namespace orochi

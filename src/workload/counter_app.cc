@@ -1,0 +1,54 @@
+#include <cassert>
+
+#include "src/workload/workloads.h"
+
+namespace orochi {
+
+namespace {
+
+// /counter/hit: bumps a per-key counter in the KV store, remembers the caller in a session
+// register, and appends an audit row to the database. Small enough to read in one sitting,
+// but touches every object kind.
+const char* kHitScript = R"WS(
+$key = input("key");
+if (!isset($key)) { $key = "default"; }
+$who = input("who");
+if (!isset($who)) { $who = "anon"; }
+
+$count = intval(kv_get("count:" . $key)) + 1;
+kv_set("count:" . $key, $count);
+
+$sess = reg_read("visitor:" . $who);
+if (!is_array($sess)) { $sess = array("hits" => 0); }
+$sess["hits"] = $sess["hits"] + 1;
+reg_write("visitor:" . $who, $sess);
+
+db_query("INSERT INTO hits (key, who, n) VALUES ('" . sql_escape($key) . "', '" .
+         sql_escape($who) . "', " . $count . ")");
+
+echo "<html><body>counter '" . htmlspecialchars($key) . "' is now " . $count .
+     " (your hit #" . $sess["hits"] . ")</body></html>";
+)WS";
+
+const char* kReadScript = R"WS(
+$key = input("key");
+if (!isset($key)) { $key = "default"; }
+$count = intval(kv_get("count:" . $key));
+$rows = db_query("SELECT count(*) AS n FROM hits WHERE key = '" . sql_escape($key) . "'");
+echo "<html><body>counter '" . htmlspecialchars($key) . "' = " . $count . " (" .
+     $rows[0]["n"] . " recorded hits)</body></html>";
+)WS";
+
+}  // namespace
+
+Application BuildCounterApp() {
+  Application app;
+  Status st = app.AddScript("/counter/hit", kHitScript);
+  assert(st.ok() && "counter hit script must compile");
+  st = app.AddScript("/counter/read", kReadScript);
+  assert(st.ok() && "counter read script must compile");
+  (void)st;
+  return app;
+}
+
+}  // namespace orochi

@@ -1,0 +1,267 @@
+#include <cassert>
+
+#include "src/common/rng.h"
+#include "src/workload/workloads.h"
+
+namespace orochi {
+
+namespace {
+
+const char* kTopicScript = R"WS(
+function load_lang() {
+  $keys = array("forum", "topic", "post", "reply", "quote", "edit", "delete", "report",
+                "search", "login", "logout", "register", "profile", "members", "faq",
+                "rules", "mark_read", "subscribe", "unsubscribe", "attachments", "poll",
+                "vote", "moderator", "administrator", "guest", "online", "offline",
+                "joined", "posts_count", "location", "website", "signature", "avatar",
+                "private_message", "email", "warn", "ban", "unban", "sticky", "announce");
+  $lang = array();
+  foreach ($keys as $k) {
+    $lang[$k] = strtoupper(substr($k, 0, 1)) . str_replace("_", " ", substr($k, 1));
+  }
+  return $lang;
+}
+
+function load_bbcode() {
+  $tags = array("b", "i", "u", "quote", "code", "list", "img", "url", "size", "color",
+                "spoiler", "youtube", "attachment", "email", "flash", "sub", "sup");
+  $bb = array();
+  foreach ($tags as $tag) {
+    $bb["[" . $tag . "]"] = "<" . $tag . ">";
+    $bb["[/" . $tag . "]"] = "</" . $tag . ">";
+  }
+  return $bb;
+}
+
+function load_permissions($user) {
+  $actions = array("read", "post", "reply", "quote", "edit_own", "delete_own", "attach",
+                   "poll_create", "poll_vote", "search", "pm_send", "pm_read", "report",
+                   "subscribe", "bookmark", "sig_edit", "avatar_upload", "rate");
+  $perms = array();
+  foreach ($actions as $i => $a) {
+    $perms[$a] = ($user != "guest") || ($i < 4);
+  }
+  return $perms;
+}
+
+function board_header($title) {
+  $lang = load_lang();
+  $bb = load_bbcode();
+  $crumbs = array("Board index", "CentOS", "Support", "Software");
+  $menu = array("FAQ", "Search", "Register", "Login", "Unanswered topics", "Active topics",
+                "New posts", "Your posts", "Bookmarks", "Subscriptions", "Moderator tools");
+  $html = "<html><head><title>" . htmlspecialchars($title) . "</title>";
+  $html = $html . "<link rel='stylesheet' href='/styles/prosilver.css'/>";
+  $html = $html . "<meta name='viewport' content='width=device-width'/></head><body>";
+  $html = $html . "<div id='menu'><ul>";
+  foreach ($menu as $i => $m) {
+    $slug = strtolower(str_replace(" ", "_", $m));
+    $html = $html . "<li class='m" . $i . "'><a href='/forum/" . $slug . "' rel='nofollow'>" .
+            htmlspecialchars($m) . "</a></li>";
+  }
+  $html = $html . "</ul><li class='end'>" . $lang["online"] . " &middot; " .
+          $lang["mark_read"] . "</li></div><div class='crumbs'>";
+  foreach ($crumbs as $i => $c) {
+    if ($i > 0) { $html = $html . " &raquo; "; }
+    $html = $html . "<a href='/forum/index'>" . htmlspecialchars($c) . "</a>";
+  }
+  $html = $html . "</div>";
+  return $html;
+}
+
+function board_footer() {
+  $links = array("FAQ", "Members", "The team", "Delete cookies", "All times are UTC");
+  $html = "<div class='footer'><ul>";
+  foreach ($links as $l) {
+    $html = $html . "<li>" . htmlspecialchars($l) . "</li>";
+  }
+  $html = $html . "</ul><div class='powered'>Powered by a bulletin board</div></body></html>";
+  return $html;
+}
+
+function render_post($author, $body, $created, $index) {
+  $quoted = str_replace("\n", "<br/>", htmlspecialchars($body));
+  $html = "<div class='post' id='p" . $index . "'>";
+  $html = $html . "<div class='author'><b>" . htmlspecialchars($author) . "</b>";
+  $html = $html . "<span class='badge'>" . substr(hash64($author), 0, 6) . "</span></div>";
+  $html = $html . "<div class='when'>#" . $index . " at " . $created . "</div>";
+  $html = $html . "<div class='body'>" . $quoted . "</div></div>";
+  return $html;
+}
+
+$topic = intval(input("topic"));
+$user = input("user");
+if (!isset($user)) { $user = "guest"; }
+$trows = db_query("SELECT id, title, replies, views FROM topics WHERE id = " . $topic);
+if (count($trows) == 0) {
+  echo "<html><body>no such topic</body></html>";
+  return;
+}
+$perms = load_permissions($user);
+if (!$perms["read"]) {
+  echo "<html><body>not permitted</body></html>";
+  return;
+}
+$t = $trows[0];
+$posts = db_query("SELECT id, author, body, created FROM posts WHERE topic_id = " . $topic .
+                  " ORDER BY id ASC, created ASC");
+echo board_header($t["title"]);
+echo "<h1>" . htmlspecialchars($t["title"]) . "</h1>";
+echo "<div class='meta'>" . count($posts) . " posts</div>";
+$i = 0;
+foreach ($posts as $p) {
+  $i++;
+  echo render_post($p["author"], $p["body"], $p["created"], $i);
+}
+if ($user != "guest") {
+  $sess = reg_read("fsess:" . $user);
+  if (!is_array($sess)) { $sess = array("seen" => array()); }
+  $sess["seen"][$topic] = count($posts);
+  reg_write("fsess:" . $user, $sess);
+  echo "<div class='user'>logged in as " . htmlspecialchars($user) . "</div>";
+}
+echo board_footer();
+if (rand(0, 49) == 0) {
+  db_query("UPDATE topics SET views = views + 1 WHERE id = " . $topic);
+}
+)WS";
+
+const char* kReplyScript = R"WS(
+$topic = intval(input("topic"));
+$user = input("user");
+if (!isset($user)) { $user = "guest"; }
+$body = input("body");
+if (!isset($body)) { $body = ""; }
+$m = db_query("SELECT max(id) AS m FROM posts");
+$next = intval($m[0]["m"]) + 1;
+$now = time();
+$res = db_txn(array(
+  "INSERT INTO posts (id, topic_id, author, body, created) VALUES (" . $next . ", " . $topic .
+      ", '" . sql_escape($user) . "', '" . sql_escape($body) . "', " . $now . ")",
+  "UPDATE topics SET replies = replies + 1 WHERE id = " . $topic
+));
+if ($res[0]) {
+  echo "<html><body>reply " . $next . " posted to topic " . $topic . "</body></html>";
+} else {
+  echo "<html><body>could not post reply</body></html>";
+}
+)WS";
+
+const char* kIndexScript = R"WS(
+$rows = db_query("SELECT id, title, replies FROM topics ORDER BY id ASC LIMIT 20");
+$total = db_query("SELECT count(*) AS n, sum(replies) AS r FROM topics");
+echo "<html><body><h1>Board</h1><table>";
+foreach ($rows as $t) {
+  echo "<tr><td><a href='/forum/topic?topic=" . $t["id"] . "'>" .
+       htmlspecialchars($t["title"]) . "</a></td><td>" . $t["replies"] . "</td></tr>";
+}
+echo "</table><div>" . $total[0]["n"] . " topics, " . $total[0]["r"] . " replies</div>";
+echo "</body></html>";
+)WS";
+
+const char* kLoginScript = R"WS(
+$user = input("user");
+if (!isset($user)) {
+  echo "<html><body>missing user</body></html>";
+  return;
+}
+$sess = reg_read("fsess:" . $user);
+if (!is_array($sess)) { $sess = array("seen" => array()); }
+$sess["logins"] = intval($sess["logins"]) + 1;
+$sess["last_login"] = time();
+reg_write("fsess:" . $user, $sess);
+echo "<html><body>welcome back, " . htmlspecialchars($user) . " (login #" .
+     $sess["logins"] . ")</body></html>";
+)WS";
+
+const char* kPostBodies[] = {
+    "I ran into the same issue after the last update, rebuilding the initramfs fixed it.",
+    "Could you post the output of the journal? Hard to tell without logs.",
+    "This is a known regression, see the tracker. A patched package is in updates-testing.",
+    "Worked for me after clearing the cache, thanks for the pointer!",
+    "You need to enable the repository first, otherwise the dependency is missing.",
+    "Same here on a fresh install. Downgrading the kernel avoids the panic.",
+};
+
+}  // namespace
+
+Application BuildForumApp() {
+  Application app;
+  Status st = app.AddScript("/forum/topic", kTopicScript);
+  assert(st.ok() && "forum topic script must compile");
+  st = app.AddScript("/forum/reply", kReplyScript);
+  assert(st.ok() && "forum reply script must compile");
+  st = app.AddScript("/forum/index", kIndexScript);
+  assert(st.ok() && "forum index script must compile");
+  st = app.AddScript("/forum/login", kLoginScript);
+  assert(st.ok() && "forum login script must compile");
+  (void)st;
+  return app;
+}
+
+Workload MakeForumWorkload(const ForumConfig& config) {
+  Workload w;
+  w.name = "forum";
+  w.app = BuildForumApp();
+
+  Rng rng(config.seed);
+  Result<StmtResult> r1 = w.initial.db.ExecuteText(
+      "CREATE TABLE topics (id INT, title TEXT, replies INT, views INT)");
+  Result<StmtResult> r2 = w.initial.db.ExecuteText(
+      "CREATE TABLE posts (id INT, topic_id INT, author TEXT, body TEXT, created INT)");
+  assert(r1.ok() && r2.ok());
+  (void)r1;
+  (void)r2;
+  int64_t post_id = 0;
+  for (size_t t = 0; t < config.num_topics; t++) {
+    Result<StmtResult> rt = w.initial.db.ExecuteText(
+        "INSERT INTO topics (id, title, replies, views) VALUES (" + std::to_string(t) +
+        ", 'Help thread " + std::to_string(t) + "', 0, 0)");
+    assert(rt.ok());
+    (void)rt;
+    // Topics have distinct lengths (as real threads do); topic pages then land in
+    // per-topic control-flow groups rather than merging across topics.
+    size_t seed_posts = config.seed_posts_per_topic + 3 * t;
+    for (size_t p = 0; p < seed_posts; p++) {
+      post_id++;
+      Result<StmtResult> rp = w.initial.db.ExecuteText(
+          "INSERT INTO posts (id, topic_id, author, body, created) VALUES (" +
+          std::to_string(post_id) + ", " + std::to_string(t) + ", 'u" +
+          std::to_string(rng.UniformInt(0, static_cast<int64_t>(config.num_users) - 1)) +
+          "', '" + kPostBodies[rng.UniformInt(0, 5)] + "', 1500000000)");
+      assert(rp.ok());
+      (void)rp;
+    }
+  }
+
+  // Topic popularity is Zipf-ish: the paper scraped the most popular CentOS topic.
+  ZipfSampler zipf(config.num_topics, 1.0);
+  auto random_user = [&] {
+    return "u" + std::to_string(rng.UniformInt(0, static_cast<int64_t>(config.num_users) - 1));
+  };
+  for (size_t i = 0; i < config.num_requests; i++) {
+    double dice = rng.UniformDouble();
+    WorkItem item;
+    if (dice < config.reply_fraction) {
+      item.script = "/forum/reply";
+      item.params["topic"] = std::to_string(zipf.Sample(rng));
+      item.params["user"] = random_user();
+      item.params["body"] = kPostBodies[rng.UniformInt(0, 5)];
+    } else if (dice < config.reply_fraction + config.index_fraction) {
+      item.script = "/forum/index";
+    } else if (dice < config.reply_fraction + config.index_fraction + config.login_fraction) {
+      item.script = "/forum/login";
+      item.params["user"] = random_user();
+    } else {
+      item.script = "/forum/topic";
+      item.params["topic"] = std::to_string(zipf.Sample(rng));
+      if (rng.Chance(config.registered_view_fraction)) {
+        item.params["user"] = random_user();
+      }
+    }
+    w.items.push_back(std::move(item));
+  }
+  return w;
+}
+
+}  // namespace orochi

@@ -1,0 +1,234 @@
+#include <cassert>
+
+#include "src/common/rng.h"
+#include "src/workload/workloads.h"
+
+namespace orochi {
+
+namespace {
+
+// /wiki/view: session upkeep for registered users, APC-cached rendering, sparse view
+// counting (the paper's phpBB/MediaWiki modifications reduce counter-update frequency to
+// create audit-time acceleration opportunities, §5.4).
+const char* kViewScript = R"WS(
+function render_skin_header() {
+  $nav = array("Main", "Recent changes", "Random", "Help", "Community", "Tools",
+               "Special pages", "Upload", "Preferences", "Watchlist", "Contributions",
+               "Talk", "History", "Move", "Protect", "Delete", "Cite", "Permalink");
+  $sub = array("overview", "discussion", "archive");
+  $html = "<html><head><title>wiki</title><meta charset='utf-8'/>";
+  $html = $html . "<link rel='stylesheet' href='/skins/vector.css'/></head><body>";
+  $html = $html . "<div id='sidebar'><ul>";
+  foreach ($nav as $i => $item) {
+    $slug = strtolower(str_replace(" ", "-", $item));
+    $html = $html . "<li class='nav-" . $i . "'><a href='/wiki/" . $slug . "' title='" .
+            htmlspecialchars($item) . "'>" . htmlspecialchars($item) . "</a><ul>";
+    foreach ($sub as $s) {
+      $html = $html . "<li class='sub'><a href='/wiki/" . $slug . "/" . $s . "'>" . $s .
+              "</a></li>";
+    }
+    $html = $html . "</ul></li>";
+  }
+  $html = $html . "</ul></div><div id='content'>";
+  return $html;
+}
+
+function render_skin_footer() {
+  $links = array("About", "Disclaimers", "Privacy policy", "Developers", "Statistics",
+                 "Cookie statement", "Mobile view");
+  $langs = array("en", "de", "fr", "es", "it", "pt", "nl", "ru", "ja", "zh", "pl", "sv",
+                 "vi", "ar", "ko", "fa", "tr", "cs", "uk", "hu", "fi", "he", "no", "da");
+  $html = "</div><div id='footer'><ul>";
+  foreach ($links as $l) {
+    $html = $html . "<li>" . htmlspecialchars($l) . "</li>";
+  }
+  $html = $html . "</ul><div id='interlang'>";
+  foreach ($langs as $i => $code) {
+    $html = $html . "<a class='lang-" . $i . "' hreflang='" . $code . "' href='//" . $code .
+            ".example.org/'>" . strtoupper($code) . "</a> ";
+  }
+  $html = $html . "</div><div class='copy'>content is available under CC BY-SA</div>";
+  $html = $html . "</div></body></html>";
+  return $html;
+}
+
+function render_markup($text) {
+  // A wikitext-flavoured mini renderer: bold, italics, heading and link markers.
+  $out = htmlspecialchars($text);
+  $out = str_replace("'''", "<b>", $out);
+  $out = str_replace("''", "<i>", $out);
+  $words = explode(" ", $out);
+  $linked = array();
+  foreach ($words as $word) {
+    if (strpos($word, "p") == 0 && strlen($word) > 2 && is_numeric(substr($word, 1, 1))) {
+      $linked[] = "<a href='/wiki/view?page=" . substr($word, 1) . "'>" . $word . "</a>";
+    } else {
+      $linked[] = $word;
+    }
+  }
+  return implode(" ", $linked);
+}
+
+function render_page($title, $content) {
+  $paras = explode("|", $content);
+  $toc = "<div class='toc'><ol>";
+  $body = "";
+  $n = 0;
+  foreach ($paras as $p) {
+    if (strlen(trim($p)) > 0) {
+      $n++;
+      $toc = $toc . "<li><a href='#sec" . $n . "'>Section " . $n . "</a></li>";
+      $body = $body . "<h2 id='sec" . $n . "'>Section " . $n . "</h2><p>" .
+              render_markup($p) . "</p>";
+    }
+  }
+  $toc = $toc . "</ol></div>";
+  return "<h1>" . htmlspecialchars($title) . "</h1>" . $toc . $body;
+}
+
+$page = intval(input("page"));
+$user = input("user");
+if (!isset($user)) { $user = "guest"; }
+if ($user != "guest") {
+  $sess = reg_read("wsess:" . $user);
+  if (!is_array($sess)) { $sess = array("views" => 0); }
+  $sess["views"] = $sess["views"] + 1;
+  reg_write("wsess:" . $user, $sess);
+}
+$html = kv_get("wikipage:" . $page);
+if (!isset($html)) {
+  $rows = db_query("SELECT title, content, views FROM pages WHERE id = " . $page);
+  if (count($rows) == 0) {
+    echo "<html><body>no such page</body></html>";
+    return;
+  }
+  $row = $rows[0];
+  $html = render_page($row["title"], $row["content"]);
+  kv_set("wikipage:" . $page, $html);
+}
+echo render_skin_header();
+echo $html;
+echo "<div class='footer-note'>for " . htmlspecialchars($user) . "</div>";
+echo render_skin_footer();
+if (rand(0, 19) == 0) {
+  db_query("UPDATE pages SET views = views + 1 WHERE id = " . $page);
+}
+)WS";
+
+const char* kEditScript = R"WS(
+$page = intval(input("page"));
+$user = input("user");
+if (!isset($user)) { $user = "guest"; }
+$content = input("content");
+if (!isset($content)) { $content = ""; }
+$rows = db_query("SELECT id FROM pages WHERE id = " . $page);
+$now = time();
+if (count($rows) == 0) {
+  db_query("INSERT INTO pages (id, title, content, views, updated) VALUES (" . $page .
+           ", 'Page " . $page . "', '" . sql_escape($content) . "', 0, " . $now . ")");
+} else {
+  db_query("UPDATE pages SET content = '" . sql_escape($content) . "', updated = " . $now .
+           " WHERE id = " . $page);
+}
+kv_set("wikipage:" . $page, null);
+if ($user != "guest") {
+  $sess = reg_read("wsess:" . $user);
+  if (!is_array($sess)) { $sess = array("views" => 0); }
+  $sess["edits"] = intval($sess["edits"]) + 1;
+  reg_write("wsess:" . $user, $sess);
+}
+echo "<html><body>saved page " . $page . " at " . $now . "</body></html>";
+)WS";
+
+const char* kListScript = R"WS(
+$rows = db_query("SELECT id, title, views FROM pages ORDER BY views DESC, id ASC LIMIT 25");
+echo "<html><body><ul>";
+foreach ($rows as $r) {
+  echo "<li><a href='/wiki/view?page=" . $r["id"] . "'>" . htmlspecialchars($r["title"]) .
+       "</a> (" . $r["views"] . " views)</li>";
+}
+echo "</ul></body></html>";
+)WS";
+
+std::string MakePageContent(Rng& rng, size_t page_id) {
+  // A handful of sentence-shaped paragraphs, '|'-separated (the view script splits on |).
+  static const char* kWords[] = {"system", "audit", "server",  "record", "replay",
+                                 "verify", "cloud", "execute", "trace",  "report"};
+  std::string content;
+  size_t paragraphs = 3 + static_cast<size_t>(rng.UniformInt(0, 4));
+  for (size_t p = 0; p < paragraphs; p++) {
+    if (p > 0) {
+      content += "|";
+    }
+    size_t words = 12 + static_cast<size_t>(rng.UniformInt(0, 24));
+    for (size_t w = 0; w < words; w++) {
+      if (w > 0) {
+        content += " ";
+      }
+      content += kWords[rng.UniformInt(0, 9)];
+    }
+    content += " p" + std::to_string(page_id) + "." + std::to_string(p);
+  }
+  return content;
+}
+
+}  // namespace
+
+Application BuildWikiApp() {
+  Application app;
+  Status st = app.AddScript("/wiki/view", kViewScript);
+  assert(st.ok() && "wiki view script must compile");
+  st = app.AddScript("/wiki/edit", kEditScript);
+  assert(st.ok() && "wiki edit script must compile");
+  st = app.AddScript("/wiki/list", kListScript);
+  assert(st.ok() && "wiki list script must compile");
+  (void)st;
+  return app;
+}
+
+Workload MakeWikiWorkload(const WikiConfig& config) {
+  Workload w;
+  w.name = "wiki";
+  w.app = BuildWikiApp();
+
+  Rng rng(config.seed);
+  // Pre-populate the pages table (the state the verifier holds from the prior audit).
+  Result<StmtResult> created = w.initial.db.ExecuteText(
+      "CREATE TABLE pages (id INT, title TEXT, content TEXT, views INT, updated INT)");
+  assert(created.ok());
+  (void)created;
+  for (size_t p = 0; p < config.num_pages; p++) {
+    std::string content = MakePageContent(rng, p);
+    Result<StmtResult> ins = w.initial.db.ExecuteText(
+        "INSERT INTO pages (id, title, content, views, updated) VALUES (" + std::to_string(p) +
+        ", 'Page " + std::to_string(p) + "', '" + content + "', 0, 1500000000)");
+    assert(ins.ok());
+    (void)ins;
+  }
+
+  ZipfSampler zipf(config.num_pages, config.zipf_beta);
+  for (size_t i = 0; i < config.num_requests; i++) {
+    double dice = rng.UniformDouble();
+    WorkItem item;
+    if (dice < config.edit_fraction) {
+      item.script = "/wiki/edit";
+      item.params["page"] = std::to_string(zipf.Sample(rng));
+      item.params["user"] = "u" + std::to_string(rng.UniformInt(
+                                      0, static_cast<int64_t>(config.num_users) - 1));
+      item.params["content"] = MakePageContent(rng, i);
+    } else if (dice < config.edit_fraction + config.list_fraction) {
+      item.script = "/wiki/list";
+    } else {
+      item.script = "/wiki/view";
+      item.params["page"] = std::to_string(zipf.Sample(rng));
+      if (rng.Chance(config.registered_fraction)) {
+        item.params["user"] = "u" + std::to_string(rng.UniformInt(
+                                        0, static_cast<int64_t>(config.num_users) - 1));
+      }
+    }
+    w.items.push_back(std::move(item));
+  }
+  return w;
+}
+
+}  // namespace orochi

@@ -1,0 +1,85 @@
+// The three evaluation applications and their synthetic workloads (paper §5).
+//
+// The paper's workloads came from proprietary traces (2007 Wikipedia sample, the CentOS
+// phpBB forum, SIGCOMM 2009 statistics). Those are unavailable; the generators here
+// reproduce the published workload *parameters* — Zipf(0.53) page popularity, the
+// registered:guest = 1:40 mix, papers=269 / reviewers=58 / reviews=820 with 3625-character
+// reviews and U(1,20) paper updates — which are the properties that drive control-flow
+// grouping and therefore the audit-speedup shape.
+#ifndef SRC_WORKLOAD_WORKLOADS_H_
+#define SRC_WORKLOAD_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/lang/interpreter.h"
+#include "src/objects/stores.h"
+#include "src/server/application.h"
+
+namespace orochi {
+
+struct WorkItem {
+  std::string script;
+  RequestParams params;
+};
+
+struct Workload {
+  std::string name;
+  Application app;
+  InitialState initial;
+  std::vector<WorkItem> items;
+};
+
+// --- Wiki (MediaWiki analog): read-dominated page views over Zipf-popular pages, an
+// APC-style rendered-page cache, occasional edits. ---
+struct WikiConfig {
+  size_t num_pages = 200;
+  size_t num_users = 100;
+  size_t num_requests = 20000;
+  double zipf_beta = 0.53;
+  double edit_fraction = 0.03;
+  double list_fraction = 0.05;
+  double registered_fraction = 0.30;
+  uint64_t seed = 1;
+};
+Application BuildWikiApp();
+Workload MakeWikiWorkload(const WikiConfig& config);
+
+// --- Forum (phpBB analog): one-board forum, topic views dominated by guests (1:40
+// registered:guest), replies, logins. ---
+struct ForumConfig {
+  size_t num_topics = 8;
+  size_t seed_posts_per_topic = 8;
+  size_t num_users = 83;
+  size_t num_requests = 30000;
+  double reply_fraction = 0.02;
+  double index_fraction = 0.06;
+  double login_fraction = 0.02;
+  double registered_view_fraction = 1.0 / 41.0;  // 1:40 registered:guest.
+  uint64_t seed = 2;
+};
+Application BuildForumApp();
+Workload MakeForumWorkload(const ForumConfig& config);
+
+// --- Confrev (HotCRP analog): paper submissions with repeated updates, reviews in two
+// versions, reviewer page views. ---
+struct ConfConfig {
+  size_t num_papers = 269;
+  size_t num_reviewers = 58;
+  size_t reviews_target = 820;
+  size_t review_length = 3625;
+  size_t max_updates_per_paper = 20;
+  size_t views_per_reviewer = 100;
+  uint64_t seed = 3;
+};
+Application BuildConfApp();
+Workload MakeConfWorkload(const ConfConfig& config);
+
+// A deliberately tiny application used by the quickstart example and unit tests: a visit
+// counter per key, backed by all three object kinds.
+Application BuildCounterApp();
+
+}  // namespace orochi
+
+#endif  // SRC_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,374 @@
+// Core verifier mechanics: the event graph, CreateTimePrecedenceGraph (Figure 6)
+// properties against a brute-force oracle, ProcessOpReports (Figure 5) reject paths, and
+// object-model encodings.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/core/process_reports.h"
+#include "src/objects/object_model.h"
+
+namespace orochi {
+namespace {
+
+// --- EventGraph ---
+
+TEST(EventGraph, NodesAndEdges) {
+  EventGraph g;
+  g.AddRequest(1, 2);
+  g.AddRequest(2, 0);
+  EXPECT_EQ(g.NumNodes(), 6u);  // (1,0),(1,1),(1,2),(1,inf),(2,0),(2,inf).
+  g.AddEdge(g.ArrivalNode(1), g.OpNode(1, 1));
+  g.AddEdge(g.OpNode(1, 1), g.OpNode(1, 2));
+  g.AddEdge(g.OpNode(1, 2), g.DepartureNode(1));
+  EXPECT_FALSE(g.HasCycle());
+  g.AddEdge(g.DepartureNode(1), g.ArrivalNode(1));
+  EXPECT_TRUE(g.HasCycle());
+}
+
+TEST(EventGraph, LabelRoundTrip) {
+  EventGraph g;
+  g.AddRequest(42, 3);
+  EXPECT_EQ(g.Label(g.ArrivalNode(42)).opnum, 0u);
+  EXPECT_EQ(g.Label(g.OpNode(42, 2)).rid, 42u);
+  EXPECT_EQ(g.Label(g.OpNode(42, 2)).opnum, 2u);
+  EXPECT_EQ(g.Label(g.DepartureNode(42)).opnum, EventGraph::kInfinityOp);
+}
+
+TEST(EventGraph, TopologicalOrderRespectsEdges) {
+  EventGraph g;
+  g.AddRequest(1, 1);
+  g.AddRequest(2, 1);
+  g.AddEdge(g.DepartureNode(1), g.ArrivalNode(2));
+  g.AddEdge(g.ArrivalNode(1), g.OpNode(1, 1));
+  g.AddEdge(g.OpNode(1, 1), g.DepartureNode(1));
+  g.AddEdge(g.ArrivalNode(2), g.OpNode(2, 1));
+  g.AddEdge(g.OpNode(2, 1), g.DepartureNode(2));
+  std::vector<uint32_t> topo = g.TopologicalOrder();
+  std::vector<size_t> pos(g.NumNodes());
+  for (size_t i = 0; i < topo.size(); i++) {
+    pos[topo[i]] = i;
+  }
+  for (uint32_t n = 0; n < g.NumNodes(); n++) {
+    for (uint32_t m : g.OutEdges(n)) {
+      EXPECT_LT(pos[n], pos[m]);
+    }
+  }
+}
+
+// --- CreateTimePrecedenceGraph ---
+
+Trace MakeRandomTrace(size_t n, size_t concurrency, uint64_t seed) {
+  Rng rng(seed);
+  Trace t;
+  std::vector<RequestId> open;
+  RequestId next = 1;
+  while (next <= n || !open.empty()) {
+    bool can_open = next <= n;
+    if (!can_open || open.size() >= concurrency || (!open.empty() && rng.Chance(0.45))) {
+      size_t pick =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(open.size()) - 1));
+      TraceEvent e;
+      e.kind = TraceEvent::Kind::kResponse;
+      e.rid = open[pick];
+      t.events.push_back(std::move(e));
+      open.erase(open.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      TraceEvent e;
+      e.kind = TraceEvent::Kind::kRequest;
+      e.rid = next;
+      e.script = "/s";
+      t.events.push_back(std::move(e));
+      open.push_back(next++);
+    }
+  }
+  return t;
+}
+
+// Brute-force oracle for r1 <Tr r2: response of r1 appears before request of r2.
+bool OraclePrecedes(const Trace& t, RequestId r1, RequestId r2) {
+  size_t resp1 = SIZE_MAX;
+  size_t req2 = SIZE_MAX;
+  for (size_t i = 0; i < t.events.size(); i++) {
+    if (t.events[i].kind == TraceEvent::Kind::kResponse && t.events[i].rid == r1) {
+      resp1 = i;
+    }
+    if (t.events[i].kind == TraceEvent::Kind::kRequest && t.events[i].rid == r2) {
+      req2 = i;
+    }
+  }
+  return resp1 != SIZE_MAX && req2 != SIZE_MAX && resp1 < req2;
+}
+
+// Lemma 2: r1 <Tr r2 <=> directed path in GTr, over random traces.
+class TimePrecedenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimePrecedenceProperty, MatchesOracle) {
+  size_t concurrency = 1 + static_cast<size_t>(GetParam()) % 7;
+  Trace t = MakeRandomTrace(24, concurrency, 1000 + static_cast<uint64_t>(GetParam()));
+  TimePrecedenceGraph g = CreateTimePrecedenceGraph(t);
+  for (RequestId a = 1; a <= 24; a++) {
+    for (RequestId b = 1; b <= 24; b++) {
+      if (a == b) {
+        continue;
+      }
+      EXPECT_EQ(g.HasPath(a, b), OraclePrecedes(t, a, b))
+          << "a=" << a << " b=" << b << " conc=" << concurrency;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, TimePrecedenceProperty, ::testing::Range(0, 12));
+
+// Lemma 12: the frontier algorithm emits the minimum edge set — removing any single edge
+// must lose some precedence pair.
+class TimePrecedenceMinimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimePrecedenceMinimality, EveryEdgeIsNecessary) {
+  Trace t = MakeRandomTrace(14, 4, 2000 + static_cast<uint64_t>(GetParam()));
+  TimePrecedenceGraph g = CreateTimePrecedenceGraph(t);
+  for (const auto& [rid, parents] : g.parents) {
+    for (RequestId parent : parents) {
+      // Drop edge (parent -> rid) and check that parent no longer reaches rid.
+      TimePrecedenceGraph without = g;
+      auto& p = without.parents[rid];
+      p.erase(std::find(p.begin(), p.end(), parent));
+      EXPECT_FALSE(without.HasPath(parent, rid))
+          << "edge " << parent << "->" << rid << " is redundant";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTraces, TimePrecedenceMinimality, ::testing::Range(0, 8));
+
+TEST(TimePrecedence, SequentialTraceIsAChain) {
+  Trace t;
+  for (RequestId r = 1; r <= 5; r++) {
+    TraceEvent req{TraceEvent::Kind::kRequest, r, "/s", {}, ""};
+    TraceEvent resp{TraceEvent::Kind::kResponse, r, "", {}, ""};
+    t.events.push_back(req);
+    t.events.push_back(resp);
+  }
+  TimePrecedenceGraph g = CreateTimePrecedenceGraph(t);
+  EXPECT_EQ(g.num_edges, 4u);  // Minimal chain: r1->r2->...->r5.
+  EXPECT_TRUE(g.HasPath(1, 5));
+}
+
+TEST(TimePrecedence, FullyConcurrentTraceHasNoEdges) {
+  Trace t;
+  for (RequestId r = 1; r <= 5; r++) {
+    TraceEvent req{TraceEvent::Kind::kRequest, r, "/s", {}, ""};
+    t.events.push_back(req);
+  }
+  for (RequestId r = 1; r <= 5; r++) {
+    TraceEvent resp{TraceEvent::Kind::kResponse, r, "", {}, ""};
+    t.events.push_back(resp);
+  }
+  TimePrecedenceGraph g = CreateTimePrecedenceGraph(t);
+  EXPECT_EQ(g.num_edges, 0u);
+}
+
+// --- Trace balance ---
+
+TEST(TraceBalance, AcceptsBalanced) {
+  Trace t = MakeRandomTrace(10, 3, 7);
+  EXPECT_TRUE(CheckTraceBalanced(t).ok());
+}
+
+TEST(TraceBalance, RejectsDuplicateRid) {
+  Trace t;
+  t.events.push_back({TraceEvent::Kind::kRequest, 1, "/s", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 1, "", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kRequest, 1, "/s", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 1, "", {}, ""});
+  EXPECT_FALSE(CheckTraceBalanced(t).ok());
+}
+
+TEST(TraceBalance, RejectsResponseBeforeRequest) {
+  Trace t;
+  t.events.push_back({TraceEvent::Kind::kResponse, 1, "", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kRequest, 1, "/s", {}, ""});
+  EXPECT_FALSE(CheckTraceBalanced(t).ok());
+}
+
+TEST(TraceBalance, RejectsMissingResponse) {
+  Trace t;
+  t.events.push_back({TraceEvent::Kind::kRequest, 1, "/s", {}, ""});
+  EXPECT_FALSE(CheckTraceBalanced(t).ok());
+}
+
+TEST(TraceBalance, RejectsDoubleResponse) {
+  Trace t;
+  t.events.push_back({TraceEvent::Kind::kRequest, 1, "/s", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 1, "", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 1, "", {}, ""});
+  EXPECT_FALSE(CheckTraceBalanced(t).ok());
+}
+
+// --- ProcessOpReports reject paths (Figure 5's checks) ---
+
+Trace TwoRequestTrace() {
+  Trace t;
+  t.events.push_back({TraceEvent::Kind::kRequest, 1, "/s", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 1, "ok", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kRequest, 2, "/s", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 2, "ok", {}, ""});
+  return t;
+}
+
+Reports OneRegisterReports() {
+  Reports r;
+  r.objects.push_back({ObjectKind::kRegister, "A"});
+  r.op_logs.emplace_back();
+  r.op_logs[0].push_back({1, 1, StateOpType::kRegisterWrite,
+                          MakeRegisterWriteContents(Value::Int(1))});
+  r.op_logs[0].push_back({2, 1, StateOpType::kRegisterRead, ""});
+  r.op_counts[1] = 1;
+  r.op_counts[2] = 1;
+  return r;
+}
+
+TEST(ProcessReports, AcceptsConsistentReports) {
+  Result<ProcessedReports> p = ProcessOpReports(TwoRequestTrace(), OneRegisterReports());
+  ASSERT_TRUE(p.ok()) << p.error();
+  EXPECT_TRUE(p.value().op_map.Find(1, 1).valid());
+  EXPECT_TRUE(p.value().op_map.Find(2, 1).valid());
+  EXPECT_EQ(p.value().op_map.TotalOps(), 2u);
+}
+
+TEST(ProcessReports, RejectsLogEntryForUntracedRid) {
+  Reports r = OneRegisterReports();
+  r.op_logs[0][0].rid = 99;
+  EXPECT_FALSE(ProcessOpReports(TwoRequestTrace(), r).ok());
+}
+
+TEST(ProcessReports, RejectsOpnumZero) {
+  Reports r = OneRegisterReports();
+  r.op_logs[0][0].opnum = 0;
+  EXPECT_FALSE(ProcessOpReports(TwoRequestTrace(), r).ok());
+}
+
+TEST(ProcessReports, RejectsOpnumBeyondM) {
+  Reports r = OneRegisterReports();
+  r.op_logs[0][0].opnum = 5;
+  EXPECT_FALSE(ProcessOpReports(TwoRequestTrace(), r).ok());
+}
+
+TEST(ProcessReports, RejectsDuplicateClaim) {
+  Reports r = OneRegisterReports();
+  r.op_logs[0][1].rid = 1;  // Both entries now claim (1, 1).
+  EXPECT_FALSE(ProcessOpReports(TwoRequestTrace(), r).ok());
+}
+
+TEST(ProcessReports, RejectsUnclaimedOp) {
+  Reports r = OneRegisterReports();
+  r.op_counts[1] = 2;  // Claims 2 ops but the log has only one for rid 1.
+  EXPECT_FALSE(ProcessOpReports(TwoRequestTrace(), r).ok());
+}
+
+TEST(ProcessReports, RejectsIntraRequestOpnumDecrease) {
+  Trace t = TwoRequestTrace();
+  Reports r;
+  r.objects.push_back({ObjectKind::kRegister, "A"});
+  r.op_logs.emplace_back();
+  r.op_logs[0].push_back({1, 2, StateOpType::kRegisterRead, ""});
+  r.op_logs[0].push_back({1, 1, StateOpType::kRegisterRead, ""});
+  r.op_counts[1] = 2;
+  r.op_counts[2] = 0;
+  EXPECT_FALSE(ProcessOpReports(t, r).ok());
+}
+
+TEST(ProcessReports, RejectsCycleFromTimePrecedenceViolation) {
+  // r1 finished before r2 arrived, but the log claims r2's op preceded r1's.
+  Trace t = TwoRequestTrace();  // Sequential: r1 <Tr r2.
+  Reports r;
+  r.objects.push_back({ObjectKind::kRegister, "A"});
+  r.op_logs.emplace_back();
+  r.op_logs[0].push_back({2, 1, StateOpType::kRegisterWrite,
+                          MakeRegisterWriteContents(Value::Int(1))});
+  r.op_logs[0].push_back({1, 1, StateOpType::kRegisterRead, ""});
+  r.op_counts[1] = 1;
+  r.op_counts[2] = 1;
+  EXPECT_FALSE(ProcessOpReports(t, r).ok());
+}
+
+TEST(ProcessReports, AcceptsInterleavedLogsForConcurrentRequests) {
+  // Concurrent requests may interleave ops in a log.
+  Trace t;
+  t.events.push_back({TraceEvent::Kind::kRequest, 1, "/s", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kRequest, 2, "/s", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 1, "", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 2, "", {}, ""});
+  Reports r;
+  r.objects.push_back({ObjectKind::kRegister, "A"});
+  r.op_logs.emplace_back();
+  r.op_logs[0].push_back({2, 1, StateOpType::kRegisterWrite,
+                          MakeRegisterWriteContents(Value::Int(1))});
+  r.op_logs[0].push_back({1, 1, StateOpType::kRegisterRead, ""});
+  r.op_counts[1] = 1;
+  r.op_counts[2] = 1;
+  EXPECT_TRUE(ProcessOpReports(t, r).ok());
+}
+
+// Figure 4(b) as a pure consistent-ordering case: the store-buffering cycle.
+TEST(ProcessReports, RejectsStoreBufferingCycle) {
+  Trace t;
+  t.events.push_back({TraceEvent::Kind::kRequest, 1, "/f", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kRequest, 2, "/g", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 1, "0", {}, ""});
+  t.events.push_back({TraceEvent::Kind::kResponse, 2, "0", {}, ""});
+  Reports r;
+  r.objects.push_back({ObjectKind::kRegister, "A"});
+  r.objects.push_back({ObjectKind::kRegister, "B"});
+  r.op_logs.resize(2);
+  // OL_A: r2's read before r1's write; OL_B: r1's read before r2's write.
+  r.op_logs[0].push_back({2, 2, StateOpType::kRegisterRead, ""});
+  r.op_logs[0].push_back({1, 1, StateOpType::kRegisterWrite,
+                          MakeRegisterWriteContents(Value::Int(1))});
+  r.op_logs[1].push_back({1, 2, StateOpType::kRegisterRead, ""});
+  r.op_logs[1].push_back({2, 1, StateOpType::kRegisterWrite,
+                          MakeRegisterWriteContents(Value::Int(1))});
+  r.op_counts[1] = 2;
+  r.op_counts[2] = 2;
+  EXPECT_FALSE(ProcessOpReports(t, r).ok());
+}
+
+// --- Object-model encodings ---
+
+TEST(ObjectModel, KvSetContentsRoundTrip) {
+  Value v = Value::Array();
+  v.MutableArray().Append(Value::Int(42));
+  std::string bytes = MakeKvSetContents("the-key", v);
+  Result<KvSetContents> back = ParseKvSetContents(bytes);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().key, "the-key");
+  EXPECT_TRUE(Value::DeepEquals(back.value().value, v));
+}
+
+TEST(ObjectModel, DbContentsRoundTrip) {
+  std::string bytes = MakeDbContents({"SELECT 1 FROM t", "UPDATE t SET a = 'x''y'"}, true,
+                                     false);
+  Result<DbContents> back = ParseDbContents(bytes);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().sql.size(), 2u);
+  EXPECT_TRUE(back.value().is_txn);
+  EXPECT_FALSE(back.value().success);
+}
+
+class DbContentsRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DbContentsRejects, Rejects) { EXPECT_FALSE(ParseDbContents(GetParam()).ok()); }
+
+INSTANTIATE_TEST_SUITE_P(Malformed, DbContentsRejects,
+                         ::testing::Values("", "N;", "A:2:{I:0;N;I:1;N;}",
+                                           "A:3:{I:0;N;I:1;B:1;I:2;B:1;}",
+                                           "A:3:{I:0;A:0:{}I:1;B:1;I:2;B:1;}"));
+
+TEST(ObjectModel, KvSetRejectsMalformed) {
+  EXPECT_FALSE(ParseKvSetContents("garbage").ok());
+  EXPECT_FALSE(ParseKvSetContents("A:1:{I:0;S:1:k;}").ok());
+}
+
+}  // namespace
+}  // namespace orochi

@@ -1,0 +1,123 @@
+// End-to-end integration: serve a workload on the concurrent recording server, then audit
+// it. Completeness says the grouped (SSCO), sequential (baseline), and OOO audits must all
+// accept a well-behaved run; soundness spot-checks live in audit_soundness_test.cc.
+#include <gtest/gtest.h>
+
+#include "src/core/auditor.h"
+#include "src/core/ooo_audit.h"
+#include "tests/test_util.h"
+
+namespace orochi {
+namespace {
+
+Workload SmallCounterWorkload(size_t n) {
+  Workload w;
+  w.name = "counter";
+  w.app = BuildCounterApp();
+  Result<StmtResult> r =
+      w.initial.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
+  EXPECT_TRUE(r.ok());
+  for (size_t i = 0; i < n; i++) {
+    WorkItem item;
+    if (i % 5 == 4) {
+      item.script = "/counter/read";
+      item.params["key"] = "k" + std::to_string(i % 3);
+    } else {
+      item.script = "/counter/hit";
+      item.params["key"] = "k" + std::to_string(i % 3);
+      item.params["who"] = "user" + std::to_string(i % 7);
+    }
+    w.items.push_back(std::move(item));
+  }
+  return w;
+}
+
+TEST(Integration, CounterWorkloadGroupedAuditAccepts) {
+  Workload w = SmallCounterWorkload(60);
+  ServedWorkload served = ServeWorkload(w);
+  ASSERT_EQ(served.trace.NumRequests(), 60u);
+
+  Auditor auditor(&w.app);
+  AuditResult result = auditor.Audit(served.trace, served.reports, served.initial);
+  EXPECT_TRUE(result.accepted) << result.reason;
+}
+
+TEST(Integration, CounterWorkloadSequentialAuditAccepts) {
+  Workload w = SmallCounterWorkload(40);
+  ServedWorkload served = ServeWorkload(w);
+
+  Auditor auditor(&w.app);
+  AuditResult result = auditor.AuditSequential(served.trace, served.reports, served.initial);
+  EXPECT_TRUE(result.accepted) << result.reason;
+}
+
+TEST(Integration, CounterWorkloadOooTopologicalAuditAccepts) {
+  Workload w = SmallCounterWorkload(30);
+  ServedWorkload served = ServeWorkload(w);
+
+  Result<ProcessedReports> processed = ProcessOpReports(served.trace, served.reports);
+  ASSERT_TRUE(processed.ok()) << processed.error();
+  OpSchedule schedule = TopologicalSchedule(processed.value());
+  AuditResult result =
+      OOOAudit(&w.app, served.trace, served.reports, served.initial, schedule);
+  EXPECT_TRUE(result.accepted) << result.reason;
+}
+
+TEST(Integration, TamperedResponseRejected) {
+  Workload w = SmallCounterWorkload(25);
+  ServedWorkload served = ServeWorkload(w);
+  // Corrupt one response body.
+  for (TraceEvent& e : served.trace.events) {
+    if (e.kind == TraceEvent::Kind::kResponse && e.rid == 7) {
+      e.body += "<!-- injected -->";
+    }
+  }
+  Auditor auditor(&w.app);
+  AuditResult result = auditor.Audit(served.trace, served.reports, served.initial);
+  EXPECT_FALSE(result.accepted);
+}
+
+TEST(Integration, WikiWorkloadAuditAccepts) {
+  WikiConfig config;
+  config.num_pages = 20;
+  config.num_users = 8;
+  config.num_requests = 300;
+  Workload w = MakeWikiWorkload(config);
+  ServedWorkload served = ServeWorkload(w);
+
+  Auditor auditor(&w.app);
+  AuditResult result = auditor.Audit(served.trace, served.reports, served.initial);
+  EXPECT_TRUE(result.accepted) << result.reason;
+  EXPECT_GT(result.stats.groups_multi, 0u);
+}
+
+TEST(Integration, ForumWorkloadAuditAccepts) {
+  ForumConfig config;
+  config.num_topics = 4;
+  config.num_users = 10;
+  config.num_requests = 300;
+  Workload w = MakeForumWorkload(config);
+  ServedWorkload served = ServeWorkload(w);
+
+  Auditor auditor(&w.app);
+  AuditResult result = auditor.Audit(served.trace, served.reports, served.initial);
+  EXPECT_TRUE(result.accepted) << result.reason;
+}
+
+TEST(Integration, ConfWorkloadAuditAccepts) {
+  ConfConfig config;
+  config.num_papers = 12;
+  config.num_reviewers = 5;
+  config.reviews_target = 20;
+  config.review_length = 200;
+  config.views_per_reviewer = 10;
+  Workload w = MakeConfWorkload(config);
+  ServedWorkload served = ServeWorkload(w);
+
+  Auditor auditor(&w.app);
+  AuditResult result = auditor.Audit(served.trace, served.reports, served.initial);
+  EXPECT_TRUE(result.accepted) << result.reason;
+}
+
+}  // namespace
+}  // namespace orochi

@@ -1,0 +1,223 @@
+// Server substrate tests: stores, recording, the collector's ordering guarantees, manual
+// interleavings, and concurrent stress.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/auditor.h"
+#include "src/server/manual_executor.h"
+#include "tests/test_util.h"
+
+namespace orochi {
+namespace {
+
+TEST(RegisterStore, ReadAbsentIsNull) {
+  RegisterStore regs;
+  EXPECT_TRUE(regs.Read("nope").is_null());
+  regs.Write("a", Value::Int(1));
+  EXPECT_EQ(regs.Read("a").as_int(), 1);
+}
+
+TEST(KvStore, NullSetDeletes) {
+  KvStore kv;
+  kv.Set("k", Value::Int(1));
+  EXPECT_EQ(kv.Get("k").as_int(), 1);
+  kv.Set("k", Value::Null());
+  EXPECT_TRUE(kv.Get("k").is_null());
+  EXPECT_EQ(kv.Snapshot().size(), 0u);
+}
+
+TEST(VersionedKv, ReadsLatestWriteBeforeSeq) {
+  VersionedKv kv;
+  kv.AddSet("k", 5, Value::Int(50));
+  kv.AddSet("k", 9, Value::Int(90));
+  EXPECT_TRUE(kv.Get("k", 5).is_null());   // Strictly-before semantics.
+  EXPECT_EQ(kv.Get("k", 6).as_int(), 50);
+  EXPECT_EQ(kv.Get("k", 9).as_int(), 50);
+  EXPECT_EQ(kv.Get("k", 10).as_int(), 90);
+  EXPECT_TRUE(kv.Get("other", 10).is_null());
+}
+
+TEST(VersionedKv, InitialSnapshotActsAsSeqZero) {
+  VersionedKv kv;
+  kv.LoadInitial({{"k", Value::Str("boot")}});
+  EXPECT_EQ(kv.Get("k", 1).as_string(), "boot");
+  kv.AddSet("k", 3, Value::Str("new"));
+  EXPECT_EQ(kv.Get("k", 3).as_string(), "boot");
+  EXPECT_EQ(kv.Get("k", 4).as_string(), "new");
+}
+
+TEST(VersionedKv, LatestSnapshotElidesNullWrites) {
+  VersionedKv kv;
+  kv.AddSet("dead", 1, Value::Int(1));
+  kv.AddSet("dead", 2, Value::Null());
+  kv.AddSet("live", 3, Value::Int(3));
+  auto snap = kv.LatestSnapshot();
+  EXPECT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.at("live").as_int(), 3);
+}
+
+TEST(ServerCore, RecordingOffProducesNoReports) {
+  Application app = BuildCounterApp();
+  InitialState init;
+  Result<StmtResult> r = init.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
+  ASSERT_TRUE(r.ok());
+  ServerCore core(&app, init, ServerOptions{.record_reports = false});
+  core.HandleRequest(1, "/counter/hit", {{"key", "a"}, {"who", "w"}});
+  EXPECT_TRUE(core.reports().objects.empty());
+  EXPECT_TRUE(core.reports().groups.empty());
+}
+
+TEST(ServerCore, RecordingOnAndOffProduceIdenticalResponses) {
+  Application app = BuildCounterApp();
+  InitialState init;
+  Result<StmtResult> r = init.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
+  ASSERT_TRUE(r.ok());
+  ServerCore on(&app, init, ServerOptions{.record_reports = true});
+  ServerCore off(&app, init, ServerOptions{.record_reports = false});
+  for (int i = 0; i < 10; i++) {
+    RequestParams params{{"key", "k"}, {"who", "w" + std::to_string(i % 2)}};
+    // Nondet values may differ between the two cores (separate counters), but the counter
+    // app output does not depend on them.
+    EXPECT_EQ(on.HandleRequest(static_cast<RequestId>(i + 1), "/counter/hit", params),
+              off.HandleRequest(static_cast<RequestId>(i + 1), "/counter/hit", params));
+  }
+}
+
+TEST(ServerCore, UnknownScriptGetsDeterministicResponse) {
+  Application app = BuildCounterApp();
+  InitialState init;
+  ServerCore core(&app, init);
+  EXPECT_EQ(core.HandleRequest(1, "/ghost", {}), kNoSuchScriptBody);
+  EXPECT_EQ(core.reports().op_counts.at(1), 0u);
+}
+
+TEST(ServerCore, OpLogSequencesMatchPerObjectOrder) {
+  Application app = BuildCounterApp();
+  InitialState init;
+  Result<StmtResult> r = init.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
+  ASSERT_TRUE(r.ok());
+  ServerCore core(&app, init);
+  for (RequestId rid = 1; rid <= 5; rid++) {
+    core.HandleRequest(rid, "/counter/hit", {{"key", "same"}, {"who", "w"}});
+  }
+  // The KV log alternates get/set per request, in increasing counter order.
+  int kv = core.reports().FindObject(ObjectKind::kKv, "");
+  ASSERT_GE(kv, 0);
+  const auto& log = core.reports().op_logs[static_cast<size_t>(kv)];
+  ASSERT_EQ(log.size(), 10u);  // 5 x (get + set).
+  for (size_t i = 0; i + 1 < log.size(); i += 2) {
+    EXPECT_EQ(log[i].type, StateOpType::kKvGet);
+    EXPECT_EQ(log[i + 1].type, StateOpType::kKvSet);
+    EXPECT_EQ(log[i].rid, log[i + 1].rid);
+  }
+}
+
+TEST(Collector, RecordsSubmissionOrder) {
+  Collector collector;
+  collector.RecordRequest(1, "/a", {});
+  collector.RecordRequest(2, "/b", {});
+  collector.RecordResponse(2, "x");
+  collector.RecordResponse(1, "y");
+  const Trace& t = collector.trace();
+  ASSERT_EQ(t.events.size(), 4u);
+  EXPECT_EQ(t.events[0].rid, 1u);
+  EXPECT_EQ(t.events[2].rid, 2u);
+  EXPECT_EQ(t.events[2].kind, TraceEvent::Kind::kResponse);
+  EXPECT_TRUE(CheckTraceBalanced(t).ok());
+}
+
+TEST(ManualExecutor, StepCountsMatchOps) {
+  Application app;
+  Status st = app.AddScript("/three", R"WS(
+reg_write("a", 1);
+reg_write("b", 2);
+$x = reg_read("a");
+echo intval($x);
+)WS");
+  ASSERT_TRUE(st.ok());
+  InitialState init;
+  ServerCore core(&app, init);
+  Collector collector;
+  ManualExecutor exec(&app, &core, &collector);
+  exec.Begin(1, "/three", {});
+  EXPECT_TRUE(exec.Step(1));   // write a
+  EXPECT_TRUE(exec.Step(1));   // write b
+  EXPECT_TRUE(exec.Step(1));   // read a
+  EXPECT_FALSE(exec.Step(1));  // Runs to end: no more ops.
+  exec.Finish(1);
+  EXPECT_EQ(collector.trace().events.back().body, "1");
+  EXPECT_EQ(core.reports().op_counts.at(1), 3u);
+}
+
+TEST(ManualExecutor, InterleavingsAreAuditable) {
+  // Two increment-read-modify-write requests on one register, interleaved so both read 0:
+  // a lost update. A well-behaved executor may produce this (the ops are separate), and
+  // the audit must accept it.
+  Application app;
+  Status st = app.AddScript("/incr", R"WS(
+$v = intval(reg_read("ctr"));
+reg_write("ctr", $v + 1);
+echo $v + 1;
+)WS");
+  ASSERT_TRUE(st.ok());
+  InitialState init;
+  ServerCore core(&app, init);
+  Collector collector;
+  ManualExecutor exec(&app, &core, &collector);
+  exec.Begin(1, "/incr", {});
+  exec.Begin(2, "/incr", {});
+  exec.Step(1);  // r1 reads 0.
+  exec.Step(2);  // r2 reads 0 (lost update interleaving).
+  exec.Step(1);  // r1 writes 1.
+  exec.Step(2);  // r2 writes 1.
+  exec.Finish(1);
+  exec.Finish(2);
+  // Both respond "1": legal under this schedule.
+  Trace trace = collector.TakeTrace();
+  Reports reports = core.TakeReports();
+  Auditor auditor(&app);
+  AuditResult r = auditor.Audit(trace, reports, init);
+  EXPECT_TRUE(r.accepted) << r.reason;
+}
+
+TEST(ThreadServer, ConcurrentStressProducesAuditableRun) {
+  Workload w;
+  w.name = "stress";
+  w.app = BuildCounterApp();
+  Result<StmtResult> cr =
+      w.initial.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
+  ASSERT_TRUE(cr.ok());
+  for (int i = 0; i < 300; i++) {
+    WorkItem item;
+    item.script = (i % 3 == 2) ? "/counter/read" : "/counter/hit";
+    item.params["key"] = "k" + std::to_string(i % 5);
+    item.params["who"] = "w" + std::to_string(i % 11);
+    w.items.push_back(std::move(item));
+  }
+  ServedWorkload served = ServeWorkload(w, /*num_workers=*/8);
+  ASSERT_TRUE(CheckTraceBalanced(served.trace).ok());
+  Auditor auditor(&w.app);
+  AuditResult r = auditor.Audit(served.trace, served.reports, served.initial);
+  EXPECT_TRUE(r.accepted) << r.reason;
+}
+
+TEST(Reports, SizeAccountingDistinguishesBaseline) {
+  Workload w;
+  w.name = "sz";
+  w.app = BuildCounterApp();
+  Result<StmtResult> cr =
+      w.initial.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
+  ASSERT_TRUE(cr.ok());
+  for (int i = 0; i < 20; i++) {
+    w.items.push_back({"/counter/hit", {{"key", "k"}, {"who", "w"}}});
+  }
+  ServedWorkload served = ServeWorkload(w);
+  size_t full = served.reports.ApproximateBytes(false);
+  size_t nondet_only = served.reports.ApproximateBytes(true);
+  EXPECT_GT(full, nondet_only);
+  EXPECT_GT(served.trace.ApproximateBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace orochi

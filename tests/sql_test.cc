@@ -1,0 +1,238 @@
+// SQL substrate tests: parser, plain engine, transactions.
+#include <gtest/gtest.h>
+
+#include "src/sql/database.h"
+#include "src/sql/sql_parser.h"
+
+namespace orochi {
+namespace {
+
+StmtResult MustExec(Database* db, const std::string& sql) {
+  Result<StmtResult> r = db->ExecuteText(sql);
+  EXPECT_TRUE(r.ok()) << sql << ": " << (r.ok() ? "" : r.error());
+  return r.ok() ? std::move(r).value() : StmtResult{};
+}
+
+Database MakeUsersDb() {
+  Database db;
+  MustExec(&db, "CREATE TABLE users (id INT, name TEXT, age INT, score FLOAT)");
+  MustExec(&db, "INSERT INTO users (id, name, age, score) VALUES "
+                "(1, 'alice', 30, 9.5), (2, 'bob', 25, 7.25), (3, 'carol', 35, 8.0), "
+                "(4, 'dave', 25, 6.5)");
+  return db;
+}
+
+// --- Parser ---
+
+TEST(SqlParser, ParsesSelectWithEverything) {
+  Result<SqlStatement> r = ParseSql(
+      "SELECT id, name AS who FROM users WHERE age >= 25 AND NOT (id = 2) "
+      "ORDER BY age DESC, id ASC LIMIT 10");
+  ASSERT_TRUE(r.ok()) << r.error();
+  const SqlStatement& s = r.value();
+  EXPECT_EQ(s.kind, SqlStmtKind::kSelect);
+  EXPECT_EQ(s.table, "users");
+  ASSERT_EQ(s.select_items.size(), 2u);
+  EXPECT_EQ(s.select_items[1].alias, "who");
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(SqlParser, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseSql("select * from t where x = 1").ok());
+  EXPECT_TRUE(ParseSql("SeLeCt * FrOm t").ok());
+}
+
+TEST(SqlParser, QuotedStringsEscapeDoubledQuote) {
+  Result<SqlStatement> r = ParseSql("INSERT INTO t (s) VALUES ('it''s')");
+  ASSERT_TRUE(r.ok());
+  // The literal in the first row/column should be "it's".
+  const SqlExpr& e = *r.value().insert_rows[0][0];
+  EXPECT_EQ(e.literal.as_text(), "it's");
+}
+
+class SqlParserRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SqlParserRejects, Rejects) { EXPECT_FALSE(ParseSql(GetParam()).ok()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    BadSql, SqlParserRejects,
+    ::testing::Values("", "SELECT", "SELECT FROM t", "SELECT * FROM", "FROB x",
+                      "INSERT INTO t VALUES (1)", "INSERT INTO t (a) VALUES (1,2)",
+                      "UPDATE t", "DELETE t", "CREATE TABLE t (x BLOB)",
+                      "SELECT * FROM t WHERE", "SELECT * FROM t LIMIT x",
+                      "SELECT * FROM t trailing garbage", "SELECT count( FROM t",
+                      "SELECT * FROM t WHERE 'unterminated"));
+
+// --- Engine ---
+
+TEST(Database, SelectWhereFilters) {
+  Database db = MakeUsersDb();
+  StmtResult r = MustExec(&db, "SELECT name FROM users WHERE age = 25 ORDER BY id");
+  ASSERT_EQ(r.rows.rows.size(), 2u);
+  EXPECT_EQ(r.rows.rows[0][0].as_text(), "bob");
+  EXPECT_EQ(r.rows.rows[1][0].as_text(), "dave");
+}
+
+TEST(Database, SelectStarProjectsSchemaOrder) {
+  Database db = MakeUsersDb();
+  StmtResult r = MustExec(&db, "SELECT * FROM users LIMIT 1");
+  ASSERT_EQ(r.rows.columns.size(), 4u);
+  EXPECT_EQ(r.rows.columns[0], "id");
+  EXPECT_EQ(r.rows.columns[3], "score");
+}
+
+TEST(Database, OrderByMultipleKeys) {
+  Database db = MakeUsersDb();
+  StmtResult r = MustExec(&db, "SELECT id FROM users ORDER BY age ASC, id DESC");
+  ASSERT_EQ(r.rows.rows.size(), 4u);
+  EXPECT_EQ(r.rows.rows[0][0].as_int(), 4);  // age 25, higher id first.
+  EXPECT_EQ(r.rows.rows[1][0].as_int(), 2);
+  EXPECT_EQ(r.rows.rows[3][0].as_int(), 3);  // age 35 last.
+}
+
+TEST(Database, LimitTruncates) {
+  Database db = MakeUsersDb();
+  EXPECT_EQ(MustExec(&db, "SELECT id FROM users LIMIT 2").rows.rows.size(), 2u);
+  EXPECT_EQ(MustExec(&db, "SELECT id FROM users LIMIT 0").rows.rows.size(), 0u);
+}
+
+TEST(Database, Aggregates) {
+  Database db = MakeUsersDb();
+  StmtResult r = MustExec(
+      &db, "SELECT count(*) AS n, sum(age) AS total, max(score) AS hi, min(age) AS lo "
+           "FROM users");
+  ASSERT_EQ(r.rows.rows.size(), 1u);
+  EXPECT_EQ(r.rows.rows[0][0].as_int(), 4);
+  EXPECT_EQ(r.rows.rows[0][1].as_int(), 115);
+  EXPECT_DOUBLE_EQ(r.rows.rows[0][2].as_float(), 9.5);
+  EXPECT_EQ(r.rows.rows[0][3].as_int(), 25);
+}
+
+TEST(Database, AggregateOverEmptySet) {
+  Database db = MakeUsersDb();
+  StmtResult r = MustExec(&db, "SELECT count(*) AS n, max(age) AS m FROM users WHERE id > 99");
+  EXPECT_EQ(r.rows.rows[0][0].as_int(), 0);
+  EXPECT_TRUE(r.rows.rows[0][1].is_null());
+}
+
+TEST(Database, MixingAggregatesAndColumnsFails) {
+  Database db = MakeUsersDb();
+  EXPECT_FALSE(db.ExecuteText("SELECT id, count(*) FROM users").ok());
+}
+
+TEST(Database, UpdateWithExpression) {
+  Database db = MakeUsersDb();
+  StmtResult r = MustExec(&db, "UPDATE users SET age = age + 1, score = score * 2 "
+                               "WHERE name = 'bob'");
+  EXPECT_EQ(r.affected, 1);
+  StmtResult check = MustExec(&db, "SELECT age, score FROM users WHERE name = 'bob'");
+  EXPECT_EQ(check.rows.rows[0][0].as_int(), 26);
+  EXPECT_DOUBLE_EQ(check.rows.rows[0][1].as_float(), 14.5);
+}
+
+TEST(Database, UpdateSeesPreUpdateRow) {
+  Database db;
+  MustExec(&db, "CREATE TABLE t (a INT, b INT)");
+  MustExec(&db, "INSERT INTO t (a, b) VALUES (1, 10)");
+  MustExec(&db, "UPDATE t SET a = b, b = a");  // Swap, not overwrite.
+  StmtResult r = MustExec(&db, "SELECT a, b FROM t");
+  EXPECT_EQ(r.rows.rows[0][0].as_int(), 10);
+  EXPECT_EQ(r.rows.rows[0][1].as_int(), 1);
+}
+
+TEST(Database, DeleteRemovesMatching) {
+  Database db = MakeUsersDb();
+  StmtResult r = MustExec(&db, "DELETE FROM users WHERE age = 25");
+  EXPECT_EQ(r.affected, 2);
+  EXPECT_EQ(db.RowCount("users"), 2u);
+}
+
+TEST(Database, InsertCoercesColumnTypes) {
+  Database db;
+  MustExec(&db, "CREATE TABLE t (i INT, f FLOAT, s TEXT)");
+  MustExec(&db, "INSERT INTO t (i, f, s) VALUES ('42', 3, 99)");
+  StmtResult r = MustExec(&db, "SELECT * FROM t");
+  EXPECT_TRUE(r.rows.rows[0][0].is_int());
+  EXPECT_EQ(r.rows.rows[0][0].as_int(), 42);
+  EXPECT_TRUE(r.rows.rows[0][1].is_float());
+  EXPECT_TRUE(r.rows.rows[0][2].is_text());
+  EXPECT_EQ(r.rows.rows[0][2].as_text(), "99");
+}
+
+TEST(Database, MissingInsertColumnsAreNull) {
+  Database db;
+  MustExec(&db, "CREATE TABLE t (a INT, b INT)");
+  MustExec(&db, "INSERT INTO t (a) VALUES (1)");
+  StmtResult r = MustExec(&db, "SELECT b FROM t");
+  EXPECT_TRUE(r.rows.rows[0][0].is_null());
+}
+
+TEST(Database, ErrorsOnUnknownTableAndColumn) {
+  Database db = MakeUsersDb();
+  EXPECT_FALSE(db.ExecuteText("SELECT * FROM ghosts").ok());
+  EXPECT_FALSE(db.ExecuteText("SELECT ghost FROM users").ok());
+  EXPECT_FALSE(db.ExecuteText("UPDATE users SET ghost = 1").ok());
+  EXPECT_FALSE(db.ExecuteText("CREATE TABLE users (x INT)").ok());  // Already exists.
+}
+
+TEST(Database, NullComparisonsNeverMatchValues) {
+  Database db;
+  MustExec(&db, "CREATE TABLE t (a INT)");
+  MustExec(&db, "INSERT INTO t (a) VALUES (NULL), (1)");
+  EXPECT_EQ(MustExec(&db, "SELECT a FROM t WHERE a = 1").rows.rows.size(), 1u);
+  EXPECT_EQ(MustExec(&db, "SELECT a FROM t WHERE a = NULL").rows.rows.size(), 1u);
+}
+
+// --- Transactions ---
+
+TEST(Database, TransactionCommitsAllStatements) {
+  Database db = MakeUsersDb();
+  Database::TxnResult r = db.ExecuteTransaction(
+      {"UPDATE users SET age = age + 1 WHERE id = 1",
+       "INSERT INTO users (id, name, age, score) VALUES (5, 'eve', 20, 5.0)",
+       "SELECT count(*) AS n FROM users"});
+  ASSERT_TRUE(r.committed) << r.error;
+  ASSERT_EQ(r.results.size(), 3u);
+  EXPECT_EQ(r.results[2].rows.rows[0][0].as_int(), 5);
+}
+
+TEST(Database, TransactionAbortRollsBackEverything) {
+  Database db = MakeUsersDb();
+  Database::TxnResult r = db.ExecuteTransaction(
+      {"UPDATE users SET age = 99 WHERE id = 1",
+       "INSERT INTO users (id, bogus) VALUES (6, 1)"});  // Unknown column aborts.
+  EXPECT_FALSE(r.committed);
+  StmtResult check = MustExec(&db, "SELECT age FROM users WHERE id = 1");
+  EXPECT_EQ(check.rows.rows[0][0].as_int(), 30);  // Rolled back.
+  EXPECT_EQ(db.RowCount("users"), 4u);
+}
+
+TEST(Database, TransactionRollsBackCreatedTables) {
+  Database db;
+  Database::TxnResult r = db.ExecuteTransaction(
+      {"CREATE TABLE fresh (x INT)", "INSERT INTO fresh (y) VALUES (1)"});
+  EXPECT_FALSE(r.committed);
+  EXPECT_FALSE(db.HasTable("fresh"));
+}
+
+TEST(Database, TransactionParseErrorAbortsBeforeExecution) {
+  Database db = MakeUsersDb();
+  Database::TxnResult r =
+      db.ExecuteTransaction({"UPDATE users SET age = 0", "NOT SQL AT ALL"});
+  EXPECT_FALSE(r.committed);
+  StmtResult check = MustExec(&db, "SELECT age FROM users WHERE id = 1");
+  EXPECT_EQ(check.rows.rows[0][0].as_int(), 30);
+}
+
+TEST(Database, ApproximateBytesGrowsWithData) {
+  Database db;
+  MustExec(&db, "CREATE TABLE t (s TEXT)");
+  size_t before = db.ApproximateBytes();
+  MustExec(&db, "INSERT INTO t (s) VALUES ('" + std::string(1000, 'x') + "')");
+  EXPECT_GT(db.ApproximateBytes(), before + 900);
+}
+
+}  // namespace
+}  // namespace orochi

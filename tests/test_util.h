@@ -1,0 +1,50 @@
+// Shared helpers for the test suite: run a workload through the recording server and hand
+// back everything an audit needs.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "src/objects/reports.h"
+#include "src/objects/stores.h"
+#include "src/objects/trace.h"
+#include "src/server/collector.h"
+#include "src/server/server_core.h"
+#include "src/server/thread_server.h"
+#include "src/workload/workloads.h"
+
+namespace orochi {
+
+struct ServedWorkload {
+  Trace trace;
+  Reports reports;
+  InitialState initial;   // The state the audit bootstraps from.
+  InitialState final_state;  // The server's state after the run (ground truth).
+};
+
+// Serves every item of the workload on `num_workers` threads with recording enabled and
+// returns the collected trace + reports.
+inline ServedWorkload ServeWorkload(const Workload& workload, int num_workers = 4) {
+  ServedWorkload out;
+  out.initial = workload.initial;
+  ServerCore core(&workload.app, workload.initial, ServerOptions{.record_reports = true});
+  Collector collector;
+  {
+    ThreadServer server(&core, &collector, num_workers);
+    RequestId next_rid = 1;
+    for (const WorkItem& item : workload.items) {
+      server.Submit(next_rid++, item.script, item.params);
+    }
+    server.Drain();
+  }
+  out.trace = collector.TakeTrace();
+  out.reports = core.TakeReports();
+  out.final_state = core.SnapshotState();
+  return out;
+}
+
+}  // namespace orochi
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,223 @@
+// Unit tests for the Value model: PHP-like semantics, copy-on-write arrays, canonical
+// serialization (the untrusted report wire format), and multivalue projection/collapse.
+#include <gtest/gtest.h>
+
+#include "src/lang/value.h"
+
+namespace orochi {
+namespace {
+
+TEST(ArrayKey, CanonicalIntStrings) {
+  EXPECT_TRUE(ArrayKey(std::string("5")).is_int());
+  EXPECT_EQ(ArrayKey(std::string("5")).int_key(), 5);
+  EXPECT_TRUE(ArrayKey(std::string("-3")).is_int());
+  EXPECT_FALSE(ArrayKey(std::string("05")).is_int());   // Leading zero: string key.
+  EXPECT_FALSE(ArrayKey(std::string("+5")).is_int());
+  EXPECT_FALSE(ArrayKey(std::string("5x")).is_int());
+  EXPECT_FALSE(ArrayKey(std::string("")).is_int());
+  EXPECT_TRUE(ArrayKey(std::string("0")).is_int());
+}
+
+TEST(ArrayKey, IntAndCanonicalStringCollide) {
+  EXPECT_TRUE(ArrayKey(int64_t{7}) == ArrayKey(std::string("7")));
+  EXPECT_EQ(ArrayKey(int64_t{7}).Hash(), ArrayKey(std::string("7")).Hash());
+  EXPECT_FALSE(ArrayKey(int64_t{7}) == ArrayKey(std::string("seven")));
+}
+
+TEST(ArrayObject, AppendAssignsSequentialIndexes) {
+  ArrayObject a;
+  a.Append(Value::Int(10));
+  a.Append(Value::Int(20));
+  a.Set(ArrayKey(int64_t{5}), Value::Int(50));
+  a.Append(Value::Int(60));  // Next index after 5.
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.entries()[3].first.int_key(), 6);
+}
+
+TEST(ArrayObject, EraseKeepsOrder) {
+  ArrayObject a;
+  a.Set(ArrayKey(std::string("x")), Value::Int(1));
+  a.Set(ArrayKey(std::string("y")), Value::Int(2));
+  a.Set(ArrayKey(std::string("z")), Value::Int(3));
+  a.Erase(ArrayKey(std::string("y")));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.entries()[0].first.str_key(), "x");
+  EXPECT_EQ(a.entries()[1].first.str_key(), "z");
+  EXPECT_EQ(a.Find(ArrayKey(std::string("z")))->as_int(), 3);
+}
+
+TEST(Value, CopyOnWriteIsolation) {
+  Value a = Value::Array();
+  a.MutableArray().Append(Value::Int(1));
+  Value b = a;  // Shares the array.
+  b.MutableArray().Append(Value::Int(2));
+  EXPECT_EQ(a.array().size(), 1u);
+  EXPECT_EQ(b.array().size(), 2u);
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value::Null().Truthy());
+  EXPECT_FALSE(Value::Bool(false).Truthy());
+  EXPECT_TRUE(Value::Bool(true).Truthy());
+  EXPECT_FALSE(Value::Int(0).Truthy());
+  EXPECT_TRUE(Value::Int(-1).Truthy());
+  EXPECT_FALSE(Value::Float(0.0).Truthy());
+  EXPECT_FALSE(Value::Str("").Truthy());
+  EXPECT_FALSE(Value::Str("0").Truthy());  // PHP's famous falsy "0".
+  EXPECT_TRUE(Value::Str("00").Truthy());
+  EXPECT_FALSE(Value::Array().Truthy());
+}
+
+TEST(Value, ToStringMatchesPhpConventions) {
+  EXPECT_EQ(Value::Null().ToString(), "");
+  EXPECT_EQ(Value::Bool(true).ToString(), "1");
+  EXPECT_EQ(Value::Bool(false).ToString(), "");
+  EXPECT_EQ(Value::Int(-42).ToString(), "-42");
+  EXPECT_EQ(Value::Float(1.0).ToString(), "1");   // Integral floats print bare.
+  EXPECT_EQ(Value::Float(1.5).ToString(), "1.5");
+}
+
+TEST(Value, DeepEqualsIsRepresentationExact) {
+  EXPECT_TRUE(Value::DeepEquals(Value::Int(1), Value::Int(1)));
+  // Collapse must be representation-exact: int 1 != float 1.0 for dedup purposes.
+  EXPECT_FALSE(Value::DeepEquals(Value::Int(1), Value::Float(1.0)));
+  Value a = Value::Array();
+  a.MutableArray().Set(ArrayKey(std::string("k")), Value::Str("v"));
+  Value b = Value::Array();
+  b.MutableArray().Set(ArrayKey(std::string("k")), Value::Str("v"));
+  EXPECT_TRUE(Value::DeepEquals(a, b));
+  b.MutableArray().Set(ArrayKey(std::string("k")), Value::Str("w"));
+  EXPECT_FALSE(Value::DeepEquals(a, b));
+}
+
+TEST(Value, DeepEqualsIsOrderSensitive) {
+  Value a = Value::Array();
+  a.MutableArray().Set(ArrayKey(std::string("x")), Value::Int(1));
+  a.MutableArray().Set(ArrayKey(std::string("y")), Value::Int(2));
+  Value b = Value::Array();
+  b.MutableArray().Set(ArrayKey(std::string("y")), Value::Int(2));
+  b.MutableArray().Set(ArrayKey(std::string("x")), Value::Int(1));
+  EXPECT_FALSE(Value::DeepEquals(a, b));
+}
+
+// Serialization roundtrip over a representative set of values.
+class SerializeRoundtrip : public ::testing::TestWithParam<int> {};
+
+Value MakeSample(int which) {
+  switch (which) {
+    case 0: return Value::Null();
+    case 1: return Value::Bool(true);
+    case 2: return Value::Bool(false);
+    case 3: return Value::Int(0);
+    case 4: return Value::Int(-123456789);
+    case 5: return Value::Int(INT64_MAX);
+    case 6: return Value::Float(3.14159);
+    case 7: return Value::Float(-0.0);
+    case 8: return Value::Str("");
+    case 9: return Value::Str("hello; A:2:{ I:0; }");  // Metacharacters in content.
+    case 10: return Value::Str(std::string("\0binary\xff", 8));
+    case 11: {
+      Value v = Value::Array();
+      return v;
+    }
+    case 12: {
+      Value v = Value::Array();
+      v.MutableArray().Append(Value::Int(1));
+      v.MutableArray().Set(ArrayKey(std::string("key")), Value::Str("val"));
+      return v;
+    }
+    default: {
+      Value inner = Value::Array();
+      inner.MutableArray().Append(Value::Float(2.5));
+      Value v = Value::Array();
+      v.MutableArray().Set(ArrayKey(std::string("nested")), inner);
+      v.MutableArray().Append(Value::Null());
+      return v;
+    }
+  }
+}
+
+TEST_P(SerializeRoundtrip, RoundTrips) {
+  Value original = MakeSample(GetParam());
+  std::string bytes = original.Serialize();
+  Result<Value> back = DeserializeValue(bytes);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_TRUE(Value::DeepEquals(original, back.value()));
+  // Canonical: re-serialization is byte-identical.
+  EXPECT_EQ(back.value().Serialize(), bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSamples, SerializeRoundtrip, ::testing::Range(0, 14));
+
+// Malformed report bytes must be rejected, never crash (reports are untrusted).
+class DeserializeRejects : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeserializeRejects, Rejects) {
+  Result<Value> r = DeserializeValue(GetParam());
+  EXPECT_FALSE(r.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(BadInputs, DeserializeRejects,
+                         ::testing::Values("", "X;", "I:", "I:12", "I:12x;", "S:5:ab;",
+                                           "S:-1:;", "S:9999999999999999999:x;",
+                                           "A:2:{I:0;N;}", "A:1:{N;N;}", "B:2;", "F:;",
+                                           "N;N;", "A:1:{I:0;N;", "I:99999999999999999999;"));
+
+TEST(Deserialize, DepthLimited) {
+  // 100 nested arrays exceeds the depth cap.
+  std::string deep;
+  for (int i = 0; i < 100; i++) {
+    deep += "A:1:{I:0;";
+  }
+  deep += "N;";
+  for (int i = 0; i < 100; i++) {
+    deep += "}";
+  }
+  EXPECT_FALSE(DeserializeValue(deep).ok());
+}
+
+TEST(Multi, ContainsMultiFindsNested) {
+  Value m = Value::Multi({Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(ContainsMulti(m));
+  Value arr = Value::Array();
+  arr.MutableArray().Append(Value::Int(1));
+  EXPECT_FALSE(ContainsMulti(arr));
+  arr.MutableArray().Append(m);
+  EXPECT_TRUE(ContainsMulti(arr));
+}
+
+TEST(Multi, ProjectComponentSharesUntouchedArrays) {
+  Value arr = Value::Array();
+  arr.MutableArray().Append(Value::Int(1));
+  Value projected = ProjectComponent(arr, 0);
+  EXPECT_EQ(projected.array_ptr(), arr.array_ptr());  // No copy when no multi inside.
+}
+
+TEST(Multi, ProjectComponentExtractsPerRequest) {
+  Value arr = Value::Array();
+  arr.MutableArray().Set(ArrayKey(std::string("x")),
+                         Value::Multi({Value::Int(10), Value::Int(20)}));
+  Value p0 = ProjectComponent(arr, 0);
+  Value p1 = ProjectComponent(arr, 1);
+  EXPECT_EQ(p0.array().Find(ArrayKey(std::string("x")))->as_int(), 10);
+  EXPECT_EQ(p1.array().Find(ArrayKey(std::string("x")))->as_int(), 20);
+}
+
+TEST(Multi, CollapseWhenAllEqual) {
+  Value v = MakeMultiCollapsed({Value::Str("same"), Value::Str("same"), Value::Str("same")});
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "same");
+}
+
+TEST(Multi, NoCollapseWhenAnyDiffers) {
+  Value v = MakeMultiCollapsed({Value::Int(1), Value::Int(1), Value::Int(2)});
+  ASSERT_TRUE(v.is_multi());
+  EXPECT_EQ(v.multi().items.size(), 3u);
+}
+
+TEST(Multi, EmptyCollapsesToNull) {
+  EXPECT_TRUE(MakeMultiCollapsed({}).is_null());
+}
+
+}  // namespace
+}  // namespace orochi

@@ -1,0 +1,154 @@
+// Versioned database tests: Warp-style interval visibility (§4.5), the redo-pass
+// timestamp discipline, modification tracking for query dedup, and final-state extraction.
+#include <gtest/gtest.h>
+
+#include "src/sql/sql_parser.h"
+#include "src/sql/versioned_database.h"
+
+namespace orochi {
+namespace {
+
+void MustApply(VersionedDatabase* db, const std::string& sql, uint64_t ts) {
+  Result<StmtResult> r = db->ApplyWriteText(sql, ts);
+  ASSERT_TRUE(r.ok()) << sql << ": " << (r.ok() ? "" : r.error());
+}
+
+int64_t CountAt(const VersionedDatabase& db, const std::string& table, uint64_t ts) {
+  Result<StmtResult> r = db.SelectText("SELECT count(*) AS n FROM " + table, ts);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.error());
+  return r.ok() ? r.value().rows.rows[0][0].as_int() : -1;
+}
+
+TEST(VersionedDb, InsertVisibleOnlyFromItsTimestamp) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT)", 10);
+  MustApply(&db, "INSERT INTO t (a) VALUES (1)", 20);
+  MustApply(&db, "INSERT INTO t (a) VALUES (2)", 30);
+  EXPECT_EQ(CountAt(db, "t", 15), 0);
+  EXPECT_EQ(CountAt(db, "t", 20), 1);
+  EXPECT_EQ(CountAt(db, "t", 25), 1);
+  EXPECT_EQ(CountAt(db, "t", 30), 2);
+  EXPECT_EQ(CountAt(db, "t", 1000), 2);
+}
+
+TEST(VersionedDb, UpdateCreatesNewVersionOldStaysVisible) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT, b TEXT)", 1);
+  MustApply(&db, "INSERT INTO t (a, b) VALUES (1, 'old')", 10);
+  MustApply(&db, "UPDATE t SET b = 'new' WHERE a = 1", 20);
+  Result<StmtResult> before = db.SelectText("SELECT b FROM t", 15);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().rows.rows[0][0].as_text(), "old");
+  Result<StmtResult> after = db.SelectText("SELECT b FROM t", 20);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().rows.rows[0][0].as_text(), "new");
+  // Two versions exist physically.
+  EXPECT_EQ(db.VersionedRowCount("t"), 2u);
+}
+
+TEST(VersionedDb, DeleteClosesInterval) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT)", 1);
+  MustApply(&db, "INSERT INTO t (a) VALUES (7)", 10);
+  MustApply(&db, "DELETE FROM t WHERE a = 7", 20);
+  EXPECT_EQ(CountAt(db, "t", 19), 1);
+  EXPECT_EQ(CountAt(db, "t", 20), 0);
+  EXPECT_EQ(CountAt(db, "t", 999), 0);
+}
+
+TEST(VersionedDb, ReadAtTsSeesWritesAtSameTs) {
+  // The redo stamps query q of txn s at ts = s*MAXQ + q; a read at ts must see the write
+  // at ts' <= ts (start_ts <= ts inclusive).
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT)", VersionedDatabase::MakeTimestamp(1, 1));
+  MustApply(&db, "INSERT INTO t (a) VALUES (1)", VersionedDatabase::MakeTimestamp(2, 1));
+  // Within transaction 2, query 2 (a read) sees query 1's insert.
+  EXPECT_EQ(CountAt(db, "t", VersionedDatabase::MakeTimestamp(2, 2)), 1);
+  // But a read in transaction 1 (earlier) does not.
+  EXPECT_EQ(CountAt(db, "t", VersionedDatabase::MakeTimestamp(1, 2)), 0);
+}
+
+TEST(VersionedDb, TableModifiedBetweenTracksWindows) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT)", 5);
+  MustApply(&db, "INSERT INTO t (a) VALUES (1)", 10);
+  MustApply(&db, "UPDATE t SET a = 2", 30);
+  // (from, to] semantics.
+  EXPECT_FALSE(db.TableModifiedBetween("t", 10, 29));
+  EXPECT_TRUE(db.TableModifiedBetween("t", 10, 30));
+  EXPECT_TRUE(db.TableModifiedBetween("t", 9, 10));
+  EXPECT_FALSE(db.TableModifiedBetween("t", 30, 1000));
+  EXPECT_FALSE(db.TableModifiedBetween("t", 30, 30));
+  // Unknown tables are conservatively modified.
+  EXPECT_TRUE(db.TableModifiedBetween("ghost", 0, 1));
+}
+
+TEST(VersionedDb, NoopWriteDoesNotMarkModification) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT)", 5);
+  MustApply(&db, "INSERT INTO t (a) VALUES (1)", 10);
+  MustApply(&db, "UPDATE t SET a = 9 WHERE a = 777", 20);  // Matches nothing.
+  EXPECT_FALSE(db.TableModifiedBetween("t", 10, 25));
+}
+
+TEST(VersionedDb, DryRunEvaluatesWithoutMutating) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT)", 5);
+  MustApply(&db, "INSERT INTO t (a) VALUES (1)", 10);
+  Result<SqlStatement> stmt = ParseSql("UPDATE t SET a = a + 1");
+  ASSERT_TRUE(stmt.ok());
+  Result<StmtResult> dry = db.ApplyWrite(stmt.value(), 20, /*commit=*/false);
+  ASSERT_TRUE(dry.ok());
+  EXPECT_EQ(dry.value().affected, 1);
+  // Nothing changed.
+  Result<StmtResult> r = db.SelectText("SELECT a FROM t", 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.rows[0][0].as_int(), 1);
+  EXPECT_FALSE(db.TableModifiedBetween("t", 10, 100));
+}
+
+TEST(VersionedDb, DryRunStillReportsErrors) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT)", 5);
+  Result<SqlStatement> stmt = ParseSql("UPDATE t SET ghost = 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(db.ApplyWrite(stmt.value(), 10, /*commit=*/false).ok());
+}
+
+TEST(VersionedDb, LatestStateDropsHistory) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT)", 1);
+  MustApply(&db, "INSERT INTO t (a) VALUES (1)", 10);
+  MustApply(&db, "UPDATE t SET a = 2", 20);
+  MustApply(&db, "INSERT INTO t (a) VALUES (3)", 30);
+  MustApply(&db, "DELETE FROM t WHERE a = 3", 40);
+  Database latest = db.LatestState();
+  EXPECT_EQ(latest.RowCount("t"), 1u);
+  Result<StmtResult> r = latest.ExecuteText("SELECT a FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().rows.rows[0][0].as_int(), 2);
+}
+
+TEST(VersionedDb, SelectRejectsWrites) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (a INT)", 1);
+  EXPECT_FALSE(db.SelectText("DELETE FROM t", 10).ok());
+  Result<SqlStatement> sel = ParseSql("SELECT a FROM t");
+  ASSERT_TRUE(sel.ok());
+  EXPECT_FALSE(db.ApplyWrite(sel.value(), 10).ok());
+}
+
+TEST(VersionedDb, VersionedFootprintExceedsLatest) {
+  VersionedDatabase db;
+  MustApply(&db, "CREATE TABLE t (s TEXT)", 1);
+  MustApply(&db, "INSERT INTO t (s) VALUES ('row')", 10);
+  for (uint64_t ts = 20; ts < 120; ts += 10) {
+    MustApply(&db, "UPDATE t SET s = 'row" + std::to_string(ts) + "'", ts);
+  }
+  // 1 live row, 11 versions: the "temp DB overhead" of Figure 8.
+  EXPECT_EQ(db.LatestState().RowCount("t"), 1u);
+  EXPECT_EQ(db.VersionedRowCount("t"), 11u);
+}
+
+}  // namespace
+}  // namespace orochi

@@ -1,0 +1,168 @@
+// Workload generator sanity: the apps compile, the generators honor their configured
+// shapes (mix fractions, Zipf skew, SIGCOMM-derived parameters), and runs are
+// deterministic per seed.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "tests/test_util.h"
+
+namespace orochi {
+namespace {
+
+TEST(Apps, AllCompile) {
+  EXPECT_EQ(BuildWikiApp().ScriptNames().size(), 3u);
+  EXPECT_EQ(BuildForumApp().ScriptNames().size(), 4u);
+  EXPECT_EQ(BuildConfApp().ScriptNames().size(), 4u);
+  EXPECT_EQ(BuildCounterApp().ScriptNames().size(), 2u);
+}
+
+TEST(Zipf, SkewsTowardLowRanks) {
+  Rng rng(7);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; i++) {
+    counts[zipf.Sample(rng)]++;
+  }
+  EXPECT_GT(counts[0], counts[10] * 2);
+  EXPECT_GT(counts[0], counts[50] * 10);
+}
+
+TEST(Zipf, LowBetaIsFlatter) {
+  Rng rng1(7);
+  Rng rng2(7);
+  ZipfSampler steep(100, 1.2);
+  ZipfSampler flat(100, 0.3);
+  int steep_top = 0;
+  int flat_top = 0;
+  for (int i = 0; i < 10000; i++) {
+    steep_top += steep.Sample(rng1) == 0 ? 1 : 0;
+    flat_top += flat.Sample(rng2) == 0 ? 1 : 0;
+  }
+  EXPECT_GT(steep_top, flat_top);
+}
+
+TEST(WikiWorkload, HonorsMixAndSeedsPages) {
+  WikiConfig c;
+  c.num_pages = 25;
+  c.num_requests = 2000;
+  c.edit_fraction = 0.10;
+  c.list_fraction = 0.05;
+  Workload w = MakeWikiWorkload(c);
+  EXPECT_EQ(w.items.size(), 2000u);
+  EXPECT_EQ(w.initial.db.RowCount("pages"), 25u);
+  size_t edits = 0;
+  size_t lists = 0;
+  for (const WorkItem& item : w.items) {
+    edits += item.script == "/wiki/edit" ? 1 : 0;
+    lists += item.script == "/wiki/list" ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(edits) / 2000.0, 0.10, 0.03);
+  EXPECT_NEAR(static_cast<double>(lists) / 2000.0, 0.05, 0.02);
+}
+
+TEST(WikiWorkload, DeterministicPerSeed) {
+  WikiConfig c;
+  c.num_pages = 10;
+  c.num_requests = 100;
+  Workload a = MakeWikiWorkload(c);
+  Workload b = MakeWikiWorkload(c);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (size_t i = 0; i < a.items.size(); i++) {
+    EXPECT_EQ(a.items[i].script, b.items[i].script);
+    EXPECT_EQ(a.items[i].params, b.items[i].params);
+  }
+}
+
+TEST(ForumWorkload, GuestsDominateViews) {
+  ForumConfig c;
+  c.num_topics = 4;
+  c.num_requests = 4000;
+  Workload w = MakeForumWorkload(c);
+  size_t guest_views = 0;
+  size_t registered_views = 0;
+  for (const WorkItem& item : w.items) {
+    if (item.script != "/forum/topic") {
+      continue;
+    }
+    if (item.params.count("user") > 0) {
+      registered_views++;
+    } else {
+      guest_views++;
+    }
+  }
+  // 1:40 registered:guest (paper §5).
+  EXPECT_GT(guest_views, registered_views * 20);
+  EXPECT_GT(registered_views, 0u);
+}
+
+TEST(ForumWorkload, TopicsHaveDistinctSeedLengths) {
+  ForumConfig c;
+  c.num_topics = 5;
+  c.num_requests = 10;
+  Workload w = MakeForumWorkload(c);
+  // posts per topic differ: 8, 11, 14, 17, 20.
+  Result<StmtResult> r = w.initial.db.ExecuteText(
+      "SELECT count(*) AS n FROM posts WHERE topic_id = 0");
+  ASSERT_TRUE(r.ok());
+  int64_t t0 = r.value().rows.rows[0][0].as_int();
+  r = w.initial.db.ExecuteText("SELECT count(*) AS n FROM posts WHERE topic_id = 1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(t0, r.value().rows.rows[0][0].as_int());
+}
+
+TEST(ConfWorkload, PaperParameters) {
+  ConfConfig c;  // Defaults mirror §5: 269 papers, 58 reviewers, 820 reviews.
+  c.views_per_reviewer = 5;  // Shrink the view phase for test speed.
+  Workload w = MakeConfWorkload(c);
+  size_t submits = 0;
+  size_t reviews = 0;
+  for (const WorkItem& item : w.items) {
+    submits += item.script == "/conf/submit" ? 1 : 0;
+    reviews += item.script == "/conf/review" ? 1 : 0;
+  }
+  // Every paper has at least one submission and at most max_updates.
+  EXPECT_GE(submits, c.num_papers);
+  EXPECT_LE(submits, c.num_papers * c.max_updates_per_paper);
+  // Two versions per review, ~820 reviews targeted (the generator caps at 3 reviews per
+  // paper, so the last papers may fall short of the target).
+  EXPECT_LE(reviews, 2 * c.reviews_target);
+  EXPECT_GE(reviews, 2 * c.reviews_target * 9 / 10);
+}
+
+TEST(ConfWorkload, SubmissionsClusterEarly) {
+  ConfConfig c;
+  c.num_papers = 30;
+  c.views_per_reviewer = 20;
+  Workload w = MakeConfWorkload(c);
+  // The first submission of each paper must appear in the submit-heavy prefix: check that
+  // most submits land in the first half of the timeline.
+  size_t submits_total = 0;
+  size_t submits_first_half = 0;
+  for (size_t i = 0; i < w.items.size(); i++) {
+    if (w.items[i].script == "/conf/submit") {
+      submits_total++;
+      if (i < w.items.size() / 2) {
+        submits_first_half++;
+      }
+    }
+  }
+  EXPECT_GT(submits_first_half * 10, submits_total * 8);  // >80% early.
+}
+
+TEST(ConfWorkload, ReviewLengthHonored) {
+  ConfConfig c;
+  c.num_papers = 5;
+  c.reviews_target = 5;
+  c.review_length = 500;
+  c.views_per_reviewer = 1;
+  Workload w = MakeConfWorkload(c);
+  for (const WorkItem& item : w.items) {
+    if (item.script == "/conf/review") {
+      EXPECT_GE(item.params.at("body").size(), 500u);
+      EXPECT_LT(item.params.at("body").size(), 600u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace orochi
