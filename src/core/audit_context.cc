@@ -10,10 +10,27 @@ namespace orochi {
 
 const std::vector<NondetRecord> AuditContext::kNoNondet;
 
+void AuditStats::MergeFrom(const AuditStats& o) {
+  proc_op_reports_seconds += o.proc_op_reports_seconds;
+  db_redo_seconds += o.db_redo_seconds;
+  reexec_seconds += o.reexec_seconds;
+  db_query_seconds += o.db_query_seconds;
+  other_seconds += o.other_seconds;
+  total_instructions += o.total_instructions;
+  multivalent_instructions += o.multivalent_instructions;
+  num_groups += o.num_groups;
+  groups_multi += o.groups_multi;
+  fallback_groups += o.fallback_groups;
+  ops_checked += o.ops_checked;
+  db_selects_issued += o.db_selects_issued;
+  db_selects_deduped += o.db_selects_deduped;
+  group_stats.insert(group_stats.end(), o.group_stats.begin(), o.group_stats.end());
+}
+
 AuditContext::AuditContext(const Trace* trace, const Reports* reports, const Application* app,
                            const InitialState* initial, AuditOptions options)
     : trace_(trace), reports_(reports), app_(app), initial_(initial),
-      options_(std::move(options)) {}
+      options_(std::move(options)), inline_ws_(&stats_) {}
 
 Status AuditContext::Prepare() {
   {
@@ -25,6 +42,15 @@ Status AuditContext::Prepare() {
       if (e.kind == TraceEvent::Kind::kRequest) {
         request_events_[e.rid] = &e;
       }
+    }
+    // Per-rid mutable slots are pre-built here so the re-execution phase never inserts
+    // into these maps (concurrent access to distinct entries is then race-free).
+    nondet_cursors_.reserve(request_events_.size());
+    outputs_.reserve(request_events_.size());
+    for (const auto& [rid, ev] : request_events_) {
+      (void)ev;
+      nondet_cursors_.emplace(rid, NondetCursor{});
+      outputs_.emplace(rid, OutputSlot{});
     }
   }
   {
@@ -48,6 +74,9 @@ Status AuditContext::Prepare() {
     if (Status st = BuildVersionedDb(); !st.ok()) {
       return st;
     }
+    // Redo is done: from here on every read of versioned storage is against an immutable
+    // snapshot, so audit workers query it without locks.
+    versioned_db_.Freeze();
   }
   return Status::Ok();
 }
@@ -206,9 +235,9 @@ const TraceEvent* AuditContext::RequestEvent(RequestId rid) const {
 }
 
 Result<OpLocation> AuditContext::CheckOp(RequestId rid, uint32_t opnum,
-                                         const StateOpRequest& op) {
+                                         const StateOpRequest& op, AuditWorkerState* ws) {
   using R = Result<OpLocation>;
-  stats_.ops_checked++;
+  ws->stats->ops_checked++;
   OpLocation loc = processed_.op_map.Find(rid, opnum);
   if (!loc.valid()) {
     return R::Error("CheckOp: (rid " + std::to_string(rid) + ", opnum " +
@@ -236,7 +265,9 @@ Result<OpLocation> AuditContext::CheckOp(RequestId rid, uint32_t opnum,
       }
       break;
     case StateOpType::kRegisterWrite:
-      if (entry.contents != MakeRegisterWriteContents(op.value)) {
+      ws->scratch.clear();
+      AppendRegisterWriteContents(&ws->scratch, op.value);
+      if (entry.contents != ws->scratch) {
         return R::Error("CheckOp: register write contents mismatch");
       }
       break;
@@ -246,7 +277,9 @@ Result<OpLocation> AuditContext::CheckOp(RequestId rid, uint32_t opnum,
       }
       break;
     case StateOpType::kKvSet:
-      if (entry.contents != MakeKvSetContents(op.key, op.value)) {
+      ws->scratch.clear();
+      AppendKvSetContents(&ws->scratch, op.key, op.value);
+      if (entry.contents != ws->scratch) {
         return R::Error("CheckOp: kv set contents mismatch");
       }
       break;
@@ -266,63 +299,82 @@ Result<OpLocation> AuditContext::CheckOp(RequestId rid, uint32_t opnum,
 }
 
 Result<std::shared_ptr<const StmtResult>> AuditContext::RunSelect(const std::string& sql,
-                                                                  uint64_t ts) {
+                                                                  uint64_t ts,
+                                                                  AuditWorkerState* ws) {
   using R = Result<std::shared_ptr<const StmtResult>>;
-  // Parse cache.
+  QueryCacheShard& shard = query_cache_[std::hash<std::string>{}(sql) % kQueryCacheShards];
+
+  // Parse cache. Parsing happens outside the shard lock; if two workers race on the same
+  // uncached statement, both parse and the first insert wins (identical content either way).
   std::shared_ptr<const SqlStatement> stmt;
-  auto pit = select_parse_cache_.find(sql);
-  if (pit != select_parse_cache_.end()) {
-    stmt = pit->second;
-  } else {
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto pit = shard.parse.find(sql);
+    if (pit != shard.parse.end()) {
+      stmt = pit->second;
+    }
+  }
+  if (stmt == nullptr) {
     Result<SqlStatement> parsed = ParseSql(sql);
     if (!parsed.ok()) {
       return R::Error(parsed.error());
     }
     stmt = std::make_shared<const SqlStatement>(std::move(parsed).value());
-    select_parse_cache_.emplace(sql, stmt);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stmt = shard.parse.emplace(sql, stmt).first->second;
   }
   if (stmt->kind != SqlStmtKind::kSelect) {
     return R::Error("RunSelect: not a SELECT");
   }
 
-  std::vector<DedupEntry>* entries = nullptr;
+  // A cached result at ts' serves ts when the touched table was not modified in
+  // (min, max] — test both neighbours of the insertion position for ts.
+  auto reusable = [&](const DedupEntry& e) {
+    uint64_t lo = std::min(e.ts, ts);
+    uint64_t hi = std::max(e.ts, ts);
+    return lo == hi || !versioned_db_.TableModifiedBetween(stmt->table, lo, hi);
+  };
   if (options_.enable_query_dedup) {
-    entries = &dedup_cache_[sql];
-    // Find the insertion position for ts, then test both neighbours: a cached result at
-    // ts' serves ts when the touched table was not modified in (min, max].
-    auto pos = std::lower_bound(entries->begin(), entries->end(), ts,
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::vector<DedupEntry>& entries = shard.dedup[sql];
+    auto pos = std::lower_bound(entries.begin(), entries.end(), ts,
                                 [](const DedupEntry& e, uint64_t t) { return e.ts < t; });
-    auto reusable = [&](const DedupEntry& e) {
-      uint64_t lo = std::min(e.ts, ts);
-      uint64_t hi = std::max(e.ts, ts);
-      return lo == hi || !versioned_db_.TableModifiedBetween(stmt->table, lo, hi);
-    };
-    if (pos != entries->end() && reusable(*pos)) {
-      stats_.db_selects_deduped++;
+    if (pos != entries.end() && reusable(*pos)) {
+      ws->stats->db_selects_deduped++;
       return R(pos->result);
     }
-    if (pos != entries->begin() && reusable(*(pos - 1))) {
-      stats_.db_selects_deduped++;
+    if (pos != entries.begin() && reusable(*(pos - 1))) {
+      ws->stats->db_selects_deduped++;
       return R((pos - 1)->result);
     }
   }
 
-  stats_.db_selects_issued++;
-  ScopedAccumulator t(&stats_.db_query_seconds);
-  Result<StmtResult> r = versioned_db_.Select(*stmt, ts);
+  // Miss: run the SELECT against the frozen versioned store with no lock held. Two
+  // workers may both miss the same (sql, window) concurrently; both charge an issued
+  // SELECT, so issued + deduped always equals the number of logical SELECTs simulated.
+  ws->stats->db_selects_issued++;
+  Result<StmtResult> r = [&] {
+    ScopedAccumulator t(&ws->stats->db_query_seconds);
+    return versioned_db_.Select(*stmt, ts);
+  }();
   if (!r.ok()) {
     return R::Error(r.error());
   }
   auto shared = std::make_shared<const StmtResult>(std::move(r).value());
-  if (entries != nullptr) {
-    auto pos = std::lower_bound(entries->begin(), entries->end(), ts,
+  if (options_.enable_query_dedup) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::vector<DedupEntry>& entries = shard.dedup[sql];
+    auto pos = std::lower_bound(entries.begin(), entries.end(), ts,
                                 [](const DedupEntry& e, uint64_t t) { return e.ts < t; });
-    entries->insert(pos, {ts, shared});
+    if (pos == entries.end() || pos->ts != ts) {
+      entries.insert(pos, {ts, shared});
+    }
   }
   return R(shared);
 }
 
-Result<Value> AuditContext::SimDbOp(const StateOpRequest& op, OpLocation loc) {
+Result<Value> AuditContext::SimDbOp(const StateOpRequest& op, OpLocation loc,
+                                    AuditWorkerState* ws) {
   using R = Result<Value>;
   const DbContents& dc = db_log_parsed_[loc.seqnum - 1];
   if (!dc.success) {
@@ -341,7 +393,7 @@ Result<Value> AuditContext::SimDbOp(const StateOpRequest& op, OpLocation loc) {
       continue;
     }
     // A read (or a CREATE, which records affected = 0 and is handled above).
-    Result<std::shared_ptr<const StmtResult>> r = RunSelect(dc.sql[q - 1], ts);
+    Result<std::shared_ptr<const StmtResult>> r = RunSelect(dc.sql[q - 1], ts, ws);
     if (!r.ok()) {
       return R::Error("db op " + std::to_string(loc.seqnum) +
                       " claims success but read fails on replay: " + r.error());
@@ -354,7 +406,8 @@ Result<Value> AuditContext::SimDbOp(const StateOpRequest& op, OpLocation loc) {
   return StmtResultToValue(results[0]);
 }
 
-Result<Value> AuditContext::SimOp(const StateOpRequest& op, OpLocation loc) {
+Result<Value> AuditContext::SimOp(const StateOpRequest& op, OpLocation loc,
+                                  AuditWorkerState* ws) {
   switch (op.type) {
     case StateOpType::kRegisterRead: {
       // "Walk backward from s for the latest RegisterWrite" (Figure 12), over the
@@ -375,19 +428,30 @@ Result<Value> AuditContext::SimOp(const StateOpRequest& op, OpLocation loc) {
     case StateOpType::kKvSet:
       return Value::Null();
     case StateOpType::kDbOp:
-      return SimDbOp(op, loc);
+      return SimDbOp(op, loc, ws);
   }
   return Value::Null();
 }
 
-void AuditContext::ResetNondet(RequestId rid) { nondet_cursors_[rid] = NondetCursor{}; }
+void AuditContext::ResetNondet(RequestId rid) {
+  // Slots were pre-built for every traced rid; callers validate RequestEvent(rid) first,
+  // so a miss means the rid is untraced and the replay will fail on that check instead.
+  auto it = nondet_cursors_.find(rid);
+  if (it != nondet_cursors_.end()) {
+    it->second = NondetCursor{};
+  }
+}
 
 Result<Value> AuditContext::NextNondet(RequestId rid, const NondetRequest& req) {
   using R = Result<Value>;
   auto rit = reports_->nondet.find(rid);
   const std::vector<NondetRecord>& records = rit == reports_->nondet.end() ? kNoNondet
                                                                            : rit->second;
-  NondetCursor& cursor = nondet_cursors_[rid];
+  auto cit = nondet_cursors_.find(rid);
+  if (cit == nondet_cursors_.end()) {
+    return R::Error("nondet: rid " + std::to_string(rid) + " is not in the trace");
+  }
+  NondetCursor& cursor = cit->second;
   if (cursor.pos >= records.size()) {
     return R::Error("nondet: rid " + std::to_string(rid) + " has no recorded value for call #" +
                     std::to_string(cursor.pos + 1));
@@ -440,6 +504,15 @@ Status AuditContext::CheckNondetConsumed(RequestId rid) {
   return Status::Ok();
 }
 
+void AuditContext::SetOutput(RequestId rid, std::string body) {
+  auto it = outputs_.find(rid);
+  if (it == outputs_.end()) {
+    return;  // Callers only pass traced rids (slots pre-built in Prepare).
+  }
+  it->second.produced = true;
+  it->second.body = std::move(body);
+}
+
 Status AuditContext::CompareOutputs() {
   ScopedAccumulator t(&stats_.other_seconds);
   for (const TraceEvent& e : trace_->events) {
@@ -447,10 +520,10 @@ Status AuditContext::CompareOutputs() {
       continue;
     }
     auto it = outputs_.find(e.rid);
-    if (it == outputs_.end()) {
+    if (it == outputs_.end() || !it->second.produced) {
       return Status::Error("output: rid " + std::to_string(e.rid) + " was never re-executed");
     }
-    if (it->second != e.body) {
+    if (it->second.body != e.body) {
       return Status::Error("output: rid " + std::to_string(e.rid) +
                            " response does not match re-execution");
     }

@@ -2,10 +2,21 @@
 // CheckOp / SimOp (simulate-and-check, §3.3 and Figure 12), non-determinism validation
 // (§4.6), and read-query deduplication. Both the grouped SIMD-on-demand re-execution and
 // the per-request (baseline / fallback / OOO) re-executions drive this context.
+//
+// Concurrency model (parallel audit): after Prepare() the versioned stores, parsed logs,
+// OpMap, and trace indexes are immutable, so CheckOp/SimOp reads are lock-free. The only
+// mutable shared state on the re-execution path is (a) the SELECT parse + dedup caches,
+// which are sharded with per-shard mutexes so §4.5 query dedup keeps working across
+// threads, and (b) per-request cursors/output slots, which are pre-built for every traced
+// rid in Prepare() and only ever touched by the one worker executing that rid's group.
+// Stats on the hot path accumulate into a per-worker AuditWorkerState and are merged at
+// join, keeping counters contention-free.
 #ifndef SRC_CORE_AUDIT_CONTEXT_H_
 #define SRC_CORE_AUDIT_CONTEXT_H_
 
+#include <array>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +35,9 @@ namespace orochi {
 struct AuditOptions {
   size_t max_group_size = 3000;      // acc-PHP's group cap (§4.7).
   bool enable_query_dedup = true;    // §4.5 read-query dedup (ablation switch).
+  // Worker threads for grouped re-execution. 0 = auto: OROCHI_AUDIT_THREADS when set,
+  // else std::thread::hardware_concurrency().
+  size_t num_threads = 0;
   InterpreterOptions interp;
 };
 
@@ -50,6 +64,19 @@ struct AuditStats {
     double alpha;      // Fraction of univalent instructions (alpha_c in Figure 11).
   };
   std::vector<GroupStat> group_stats;
+
+  // Folds a per-worker (or per-task) stats block into this one. The parallel audit merges
+  // task blocks in group order, so group_stats ordering matches sequential execution.
+  void MergeFrom(const AuditStats& o);
+};
+
+// Per-worker mutable state for the re-execution hot path: a stats block the worker owns
+// exclusively (merged under the caller's control) and a scratch buffer reused for
+// op-content serialization so CheckOp does not allocate per comparison.
+struct AuditWorkerState {
+  explicit AuditWorkerState(AuditStats* s) : stats(s) {}
+  AuditStats* stats;
+  std::string scratch;
 };
 
 class AuditContext {
@@ -58,16 +85,24 @@ class AuditContext {
                const InitialState* initial, AuditOptions options);
 
   // Balanced-trace check, ProcessOpReports, and the versioned-storage builds. An error
-  // means the audit REJECTs with that reason.
+  // means the audit REJECTs with that reason. On success the versioned stores are frozen:
+  // everything the re-execution phase reads is immutable from here on.
   Status Prepare();
 
   // CheckOp (Figure 12 lines 10-15): validates that the program-generated op matches the
   // unique log entry claiming (rid, opnum); returns that entry's (object, seqnum).
-  Result<OpLocation> CheckOp(RequestId rid, uint32_t opnum, const StateOpRequest& op);
+  Result<OpLocation> CheckOp(RequestId rid, uint32_t opnum, const StateOpRequest& op,
+                             AuditWorkerState* ws);
+  Result<OpLocation> CheckOp(RequestId rid, uint32_t opnum, const StateOpRequest& op) {
+    return CheckOp(rid, opnum, op, &inline_ws_);
+  }
 
   // SimOp (Figure 12 lines 17-28) extended with write results: reads are fed from the
   // logs / versioned stores; DB writes return the redo pass outcome.
-  Result<Value> SimOp(const StateOpRequest& op, OpLocation loc);
+  Result<Value> SimOp(const StateOpRequest& op, OpLocation loc, AuditWorkerState* ws);
+  Result<Value> SimOp(const StateOpRequest& op, OpLocation loc) {
+    return SimOp(op, loc, &inline_ws_);
+  }
 
   // --- Non-determinism feeding (§4.6) ---
   // Resets the per-request cursor (re-execution is idempotent; a request may re-run).
@@ -84,8 +119,10 @@ class AuditContext {
   const ProcessedReports& processed() const { return processed_; }
   AuditStats& stats() { return stats_; }
 
-  // Produced-output registry (filled by the re-execution drivers).
-  void SetOutput(RequestId rid, std::string body) { outputs_[rid] = std::move(body); }
+  // Produced-output registry (filled by the re-execution drivers). Slots exist for every
+  // traced rid after Prepare(), so concurrent SetOutput calls for distinct rids never
+  // mutate the map structure; callers must only pass rids present in the trace.
+  void SetOutput(RequestId rid, std::string body);
   // Compares produced outputs against the trace's responses (the final accept check).
   Status CompareOutputs();
 
@@ -97,9 +134,10 @@ class AuditContext {
   Status BuildVersionedKv();
   Status BuildVersionedDb();
 
-  Result<Value> SimDbOp(const StateOpRequest& op, OpLocation loc);
+  Result<Value> SimDbOp(const StateOpRequest& op, OpLocation loc, AuditWorkerState* ws);
   // Executes (or dedups) one SELECT at timestamp ts.
-  Result<std::shared_ptr<const StmtResult>> RunSelect(const std::string& sql, uint64_t ts);
+  Result<std::shared_ptr<const StmtResult>> RunSelect(const std::string& sql, uint64_t ts,
+                                                      AuditWorkerState* ws);
 
   const Trace* trace_;
   const Reports* reports_;
@@ -121,15 +159,23 @@ class AuditContext {
   std::vector<DbContents> db_log_parsed_;
   std::unordered_map<uint64_t, int64_t> redo_affected_;
 
-  // SELECT parse + dedup caches.
-  std::unordered_map<std::string, std::shared_ptr<const SqlStatement>> select_parse_cache_;
+  // SELECT parse + dedup caches, striped so dedup works across audit workers: a shard's
+  // mutex guards its parse and dedup maps; the (expensive) SELECT itself runs outside any
+  // lock against the frozen versioned store.
   struct DedupEntry {
     uint64_t ts;
     std::shared_ptr<const StmtResult> result;
   };
-  std::unordered_map<std::string, std::vector<DedupEntry>> dedup_cache_;  // Sorted by ts.
+  struct QueryCacheShard {
+    std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const SqlStatement>> parse;
+    std::unordered_map<std::string, std::vector<DedupEntry>> dedup;  // Sorted by ts.
+  };
+  static constexpr size_t kQueryCacheShards = 16;
+  std::array<QueryCacheShard, kQueryCacheShards> query_cache_;
 
-  // Nondet cursors and monotonicity state.
+  // Nondet cursors and monotonicity state. Pre-built for every traced rid in Prepare();
+  // re-execution only mutates existing entries (one worker per rid at a time).
   struct NondetCursor {
     size_t pos = 0;
     bool has_last_time = false;
@@ -140,8 +186,16 @@ class AuditContext {
   std::unordered_map<RequestId, NondetCursor> nondet_cursors_;
   static const std::vector<NondetRecord> kNoNondet;
 
-  std::unordered_map<RequestId, std::string> outputs_;
+  struct OutputSlot {
+    bool produced = false;
+    std::string body;
+  };
+  std::unordered_map<RequestId, OutputSlot> outputs_;
+
   AuditStats stats_;
+  // Worker state backing the single-threaded convenience overloads (baseline / OOO /
+  // main-thread callers): stats feed straight into stats_.
+  AuditWorkerState inline_ws_;
 };
 
 }  // namespace orochi

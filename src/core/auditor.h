@@ -4,6 +4,13 @@
 // (ProcessOpReports), versioned-storage builds, then grouped SIMD-on-demand re-execution
 // with simulate-and-check, and finally the produced-output vs. trace comparison.
 //
+// Group re-execution is parallel: once consistent ordering is verified and the versioned
+// stores are frozen, control-flow groups are independent, so their chunks are dispatched
+// largest-first over a work-stealing pool (AuditOptions::num_threads workers). Accept /
+// reject and the rejection reason are reproducible across thread counts: every chunk keeps
+// its position in the sequential group walk, and the failure with the smallest position
+// wins — exactly the failure single-threaded execution would have reported.
+//
 // AuditSequential() re-executes each request individually in trace order with the same
 // checks — no grouping, no query dedup. It corresponds to the paper's "simple
 // re-execution" comparator and is the Figure 8/9 baseline.
@@ -11,6 +18,7 @@
 #define SRC_CORE_AUDITOR_H_
 
 #include <string>
+#include <vector>
 
 #include "src/core/audit_context.h"
 
@@ -25,11 +33,15 @@ struct AuditResult {
   InitialState final_state;
 };
 
+// Worker-thread count an AuditOptions resolves to: num_threads when nonzero, else the
+// OROCHI_AUDIT_THREADS environment variable, else std::thread::hardware_concurrency().
+size_t ResolveAuditThreads(const AuditOptions& options);
+
 class Auditor {
  public:
   explicit Auditor(const Application* app, AuditOptions options = {});
 
-  // SSCO grouped audit.
+  // SSCO grouped audit (parallel over group chunks).
   AuditResult Audit(const Trace& trace, const Reports& reports, const InitialState& initial);
 
   // Per-request baseline with identical checks (grouping and dedup disabled).
@@ -39,11 +51,11 @@ class Auditor {
  private:
   // Re-executes one request with simulate-and-check; fills ctx outputs. Used by the
   // baseline and by the fallback path for groups acc cannot run in lockstep.
-  Status ReplaySingleRequest(AuditContext* ctx, RequestId rid);
+  Status ReplaySingleRequest(AuditContext* ctx, RequestId rid, AuditWorkerState* ws);
 
   // Re-executes one control-flow group chunk via the acc interpreter.
   Status RunGroupChunk(AuditContext* ctx, const Program* prog,
-                       const std::vector<RequestId>& rids);
+                       const std::vector<RequestId>& rids, AuditWorkerState* ws);
 
   const Application* app_;
   AuditOptions options_;

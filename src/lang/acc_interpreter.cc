@@ -10,6 +10,11 @@ AccInterpreter::AccInterpreter(const Program* program, std::vector<const Request
                                InterpreterOptions options)
     : program_(program), params_(std::move(params)), options_(options) {
   outputs_.resize(params_.size());
+  // These grow inside the re-execution loop; pre-reserving keeps early iterations from
+  // reallocating (group re-execution constructs one interpreter per chunk).
+  stack_.reserve(64);
+  frames_.reserve(8);
+  iters_.reserve(8);
   Frame frame;
   frame.chunk = &program_->chunks[0];
   frame.pc = 0;

@@ -13,12 +13,26 @@ const char* ObjectKindName(ObjectKind k) {
 
 std::string MakeRegisterWriteContents(const Value& value) { return value.Serialize(); }
 
+void AppendRegisterWriteContents(std::string* out, const Value& value) {
+  value.SerializeTo(out);
+}
+
+void AppendKvSetContents(std::string* out, const std::string& key, const Value& value) {
+  // Emits exactly what serializing the two-entry array [key, value] produces, without
+  // materializing the ArrayObject: A:2:{I:0;S:<len>:<key>;I:1;<value>}.
+  out->append("A:2:{I:0;S:");
+  out->append(std::to_string(key.size()));
+  out->append(":");
+  out->append(key);
+  out->append(";I:1;");
+  value.SerializeTo(out);
+  out->append("}");
+}
+
 std::string MakeKvSetContents(const std::string& key, const Value& value) {
-  Value pair = Value::Array();
-  ArrayObject& arr = pair.MutableArray();
-  arr.Append(Value::Str(key));
-  arr.Append(value);
-  return pair.Serialize();
+  std::string out;
+  AppendKvSetContents(&out, key, value);
+  return out;
 }
 
 std::string MakeDbContents(const std::vector<std::string>& sql, bool is_txn, bool success) {

@@ -48,6 +48,12 @@ std::string MakeRegisterWriteContents(const Value& value);
 std::string MakeKvSetContents(const std::string& key, const Value& value);
 std::string MakeDbContents(const std::vector<std::string>& sql, bool is_txn, bool success);
 
+// Append variants writing into a caller-owned (reusable) buffer. CheckOp compares one of
+// these encodings per simulated write, so the audit hot path uses these to avoid a fresh
+// heap string per operation.
+void AppendRegisterWriteContents(std::string* out, const Value& value);
+void AppendKvSetContents(std::string* out, const std::string& key, const Value& value);
+
 struct DbContents {
   std::vector<std::string> sql;
   bool is_txn = false;

@@ -89,4 +89,36 @@ Value VersionedKv::Get(const std::string& key, uint64_t seqnum) const {
   return pos->second;
 }
 
+std::string InitialStateFingerprint(const InitialState& s) {
+  std::string out;
+  for (const auto& [name, v] : s.registers) {
+    out += "R " + name + " = " + v.Serialize() + "\n";
+  }
+  for (const auto& [key, v] : s.kv) {
+    out += "K " + key + " = " + v.Serialize() + "\n";
+  }
+  for (const std::string& table : s.db.TableNames()) {
+    out += "T " + table + " [";
+    const std::vector<ColumnDef>* schema = s.db.Schema(table);
+    if (schema != nullptr) {
+      for (const ColumnDef& c : *schema) {
+        out += c.name + ",";
+      }
+    }
+    out += "]\n";
+    const std::vector<SqlRow>* rows = s.db.Rows(table);
+    if (rows == nullptr) {
+      continue;
+    }
+    for (const SqlRow& row : *rows) {
+      for (const SqlValue& v : row) {
+        out += v.is_null() ? std::string("NULL") : v.ToText();
+        out += "|";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
 }  // namespace orochi

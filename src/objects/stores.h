@@ -47,6 +47,12 @@ struct InitialState {
   Database db;
 };
 
+// Canonical fingerprint of an InitialState: register/kv maps are ordered and DB row order
+// is fixed by the audit's single-threaded redo pass, so equal strings mean byte-identical
+// states. Tests and benches use this to assert that audits at different thread counts
+// hand off the same final state.
+std::string InitialStateFingerprint(const InitialState& s);
+
 // Audit-time versioned key-value store (paper §A.7): key -> ordered (seqnum, value) writes;
 // get(key, s) returns the value of the KvSet with the highest seqnum < s, falling back to
 // the initial snapshot.

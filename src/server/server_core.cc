@@ -55,16 +55,20 @@ ServerCore::ServerCore(const Application* app, const InitialState& init, ServerO
   }
 }
 
-int ServerCore::ObjectIdFor(ObjectKind kind, const std::string& name) {
-  // Callers hold the relevant object mutex; the report table has its own lock.
+void ServerCore::AppendOpRecord(size_t object, OpRecord rec) {
   std::lock_guard<std::mutex> lock(report_mu_);
-  int id = reports_.FindObject(kind, name);
-  if (id >= 0) {
-    return id;
+  reports_.op_logs[object].push_back(std::move(rec));
+}
+
+void ServerCore::AppendRegisterOp(const std::string& name, OpRecord rec) {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  int id = reports_.FindObject(ObjectKind::kRegister, name);
+  if (id < 0) {
+    reports_.objects.push_back({ObjectKind::kRegister, name});
+    reports_.op_logs.emplace_back();
+    id = static_cast<int>(reports_.objects.size() - 1);
   }
-  reports_.objects.push_back({kind, name});
-  reports_.op_logs.emplace_back();
-  return static_cast<int>(reports_.objects.size() - 1);
+  reports_.op_logs[static_cast<size_t>(id)].push_back(std::move(rec));
 }
 
 Value ServerCore::PerformStateOp(RequestId rid, uint32_t opnum, const StateOpRequest& op) {
@@ -74,9 +78,7 @@ Value ServerCore::PerformStateOp(RequestId rid, uint32_t opnum, const StateOpReq
       std::lock_guard<std::mutex> lock(reg_mu_);
       Value v = registers_.Read(op.target);
       if (rec) {
-        int id = ObjectIdFor(ObjectKind::kRegister, op.target);
-        reports_.op_logs[static_cast<size_t>(id)].push_back(
-            {rid, opnum, StateOpType::kRegisterRead, ""});
+        AppendRegisterOp(op.target, {rid, opnum, StateOpType::kRegisterRead, ""});
       }
       return v;
     }
@@ -84,9 +86,8 @@ Value ServerCore::PerformStateOp(RequestId rid, uint32_t opnum, const StateOpReq
       std::lock_guard<std::mutex> lock(reg_mu_);
       registers_.Write(op.target, op.value);
       if (rec) {
-        int id = ObjectIdFor(ObjectKind::kRegister, op.target);
-        reports_.op_logs[static_cast<size_t>(id)].push_back(
-            {rid, opnum, StateOpType::kRegisterWrite, MakeRegisterWriteContents(op.value)});
+        AppendRegisterOp(op.target, {rid, opnum, StateOpType::kRegisterWrite,
+                                     MakeRegisterWriteContents(op.value)});
       }
       return Value::Null();
     }
@@ -94,7 +95,7 @@ Value ServerCore::PerformStateOp(RequestId rid, uint32_t opnum, const StateOpReq
       std::lock_guard<std::mutex> lock(kv_mu_);
       Value v = kv_.Get(op.key);
       if (rec) {
-        reports_.op_logs[0].push_back({rid, opnum, StateOpType::kKvGet, op.key});
+        AppendOpRecord(0, {rid, opnum, StateOpType::kKvGet, op.key});
       }
       return v;
     }
@@ -102,8 +103,8 @@ Value ServerCore::PerformStateOp(RequestId rid, uint32_t opnum, const StateOpReq
       std::lock_guard<std::mutex> lock(kv_mu_);
       kv_.Set(op.key, op.value);
       if (rec) {
-        reports_.op_logs[0].push_back(
-            {rid, opnum, StateOpType::kKvSet, MakeKvSetContents(op.key, op.value)});
+        AppendOpRecord(0, {rid, opnum, StateOpType::kKvSet,
+                           MakeKvSetContents(op.key, op.value)});
       }
       return Value::Null();
     }
@@ -122,8 +123,8 @@ Value ServerCore::PerformStateOp(RequestId rid, uint32_t opnum, const StateOpReq
         result = DbTxnResultToValue(r.committed, r.results);
       }
       if (rec) {
-        reports_.op_logs[1].push_back(
-            {rid, opnum, StateOpType::kDbOp, MakeDbContents(op.sql, is_txn, success)});
+        AppendOpRecord(1, {rid, opnum, StateOpType::kDbOp,
+                           MakeDbContents(op.sql, is_txn, success)});
       }
       return result;
     }

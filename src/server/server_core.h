@@ -77,7 +77,12 @@ class ServerCore {
   bool recording() const { return options_.record_reports; }
 
  private:
-  int ObjectIdFor(ObjectKind kind, const std::string& name);
+  // Appends to an existing object's log. Takes report_mu_: creating a register object can
+  // reallocate the outer op_logs vector, so unsynchronized op_logs[i].push_back from
+  // another worker would race with that move (TSan-caught crash).
+  void AppendOpRecord(size_t object, OpRecord rec);
+  // Register path: object lookup/creation and the append under one report_mu_ hold.
+  void AppendRegisterOp(const std::string& name, OpRecord rec);
 
   const Application* app_;
   ServerOptions options_;

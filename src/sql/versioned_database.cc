@@ -27,6 +27,9 @@ Result<StmtResult> VersionedDatabase::ApplyWriteText(const std::string& sql, uin
 
 Result<StmtResult> VersionedDatabase::ApplyWrite(const SqlStatement& stmt, uint64_t ts,
                                                  bool commit) {
+  if (frozen_) {
+    return Result<StmtResult>::Error("ApplyWrite: versioned database is frozen");
+  }
   switch (stmt.kind) {
     case SqlStmtKind::kCreateTable: {
       if (tables_.count(stmt.table) > 0) {

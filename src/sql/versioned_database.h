@@ -38,6 +38,12 @@ class VersionedDatabase {
   Result<StmtResult> ApplyWrite(const SqlStatement& stmt, uint64_t ts, bool commit = true);
   Result<StmtResult> ApplyWriteText(const std::string& sql, uint64_t ts);
 
+  // Marks the end of the redo pass: any later ApplyWrite fails. A frozen database is
+  // immutable, so Select / TableModifiedBetween are lock-free thread-safe snapshot reads
+  // — the property the parallel audit relies on.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
   // Runs a SELECT as of timestamp ts (rows with start_ts <= ts < end_ts are visible).
   Result<StmtResult> Select(const SqlStatement& stmt, uint64_t ts) const;
   Result<StmtResult> SelectText(const std::string& sql, uint64_t ts) const;
@@ -70,6 +76,7 @@ class VersionedDatabase {
   void NoteModification(VTable* t, uint64_t ts);
 
   std::map<std::string, VTable> tables_;
+  bool frozen_ = false;
 };
 
 }  // namespace orochi
