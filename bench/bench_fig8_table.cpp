@@ -47,12 +47,12 @@ Row RunOne(Workload w) {
   row.server_overhead = recorded.server_cpu_seconds / legacy.server_cpu_seconds - 1.0;
   row.requests = recorded.trace.NumRequests();
   row.request_kb =
-      static_cast<double>(recorded.trace.ApproximateBytes()) / 1024.0 / static_cast<double>(row.requests);
-  row.baseline_report_kb = static_cast<double>(recorded.reports.ApproximateBytes(true)) /
+      static_cast<double>(recorded.trace.WireBytes()) / 1024.0 / static_cast<double>(row.requests);
+  row.baseline_report_kb = static_cast<double>(recorded.reports.WireBytes(true)) /
                            1024.0 / static_cast<double>(row.requests);
-  row.orochi_report_kb = static_cast<double>(recorded.reports.ApproximateBytes(false)) /
+  row.orochi_report_kb = static_cast<double>(recorded.reports.WireBytes(false)) /
                          1024.0 / static_cast<double>(row.requests);
-  double trace_kb = static_cast<double>(recorded.trace.ApproximateBytes()) / 1024.0;
+  double trace_kb = static_cast<double>(recorded.trace.WireBytes()) / 1024.0;
   row.report_overhead =
       (trace_kb + row.orochi_report_kb * static_cast<double>(row.requests)) /
           (trace_kb + row.baseline_report_kb * static_cast<double>(row.requests)) -

@@ -49,7 +49,7 @@ int main() {
   Trace trace = collector.TakeTrace();
   Reports reports = core.TakeReports();
   std::printf("served %zu requests; trace %zu bytes, reports %zu bytes\n",
-              trace.NumRequests(), trace.ApproximateBytes(), reports.ApproximateBytes());
+              trace.NumRequests(), trace.WireBytes(), reports.WireBytes());
 
   // 4. The audit (SSCO): grouped SIMD-on-demand re-execution + simulate-and-check +
   //    consistent ordering verification.

@@ -1,0 +1,76 @@
+// Epoch-based audit sessions: the verifier side of the paper's periodic-audit deployment
+// (§2, §4.5). A trusted collector records traffic continuously and spills one trace +
+// reports file pair per epoch; the verifier audits epochs in order, and each ACCEPTed
+// epoch's end-of-period object state automatically seeds the next epoch's InitialState —
+// the steady state the paper assumes between audit periods.
+//
+//   AuditSession session = AuditSession::Open(&app, options, initial);
+//   AuditResult r1 = session.FeedEpoch(trace1, reports1);           // in-memory epoch
+//   Result<AuditResult> r2 = session.FeedEpochFiles(t2_path, r2_path);  // spilled epoch
+//
+// A REJECTed epoch does not advance the session state, so a corrected copy of the same
+// epoch (e.g. re-fetched from the trusted collector after detecting tampering in transit)
+// can be re-fed, after which later epochs verify normally.
+//
+// FeedEpoch owns the grouped SSCO audit engine (planning, the work-stealing parallel
+// re-execution, output comparison); Auditor::Audit is a thin one-epoch wrapper over a
+// fresh session, kept for compatibility.
+#ifndef SRC_CORE_AUDIT_SESSION_H_
+#define SRC_CORE_AUDIT_SESSION_H_
+
+#include <string>
+#include <utility>
+
+#include "src/core/auditor.h"
+
+namespace orochi {
+
+class AuditSession {
+ public:
+  // `initial` is the state both sides agree on at the start of the first epoch.
+  AuditSession(const Application* app, AuditOptions options, InitialState initial);
+
+  static AuditSession Open(const Application* app, AuditOptions options,
+                           InitialState initial) {
+    return AuditSession(app, std::move(options), std::move(initial));
+  }
+
+  // Opens a session whose starting state is loaded from a wire-format snapshot file
+  // (written by SaveState or WriteInitialStateFile).
+  static Result<AuditSession> OpenFromStateFile(const Application* app, AuditOptions options,
+                                                const std::string& state_path);
+
+  // Audits one epoch against the session's current state. On ACCEPT the epoch's
+  // final_state becomes the next epoch's initial state; on REJECT the session state is
+  // unchanged. Accept/reject, reason, and final_state are deterministic across thread
+  // counts (same guarantee as the single-shot audit).
+  AuditResult FeedEpoch(const Trace& trace, const Reports& reports);
+
+  // Reads the epoch's trace and reports from wire-format spill files, then FeedEpoch.
+  // A file-level error (missing, corrupt, truncated) is an error Result — distinct from
+  // a well-formed epoch whose audit REJECTs.
+  Result<AuditResult> FeedEpochFiles(const std::string& trace_path,
+                                     const std::string& reports_path);
+
+  // Persists the current session state as a wire-format snapshot, so a future process can
+  // resume the audit chain with OpenFromStateFile.
+  Status SaveState(const std::string& path) const;
+
+  // The state the next epoch will be audited against (the last accepted final_state, or
+  // the opening state when nothing has been accepted yet).
+  const InitialState& state() const { return state_; }
+
+  uint64_t epochs_fed() const { return epochs_fed_; }
+  uint64_t epochs_accepted() const { return epochs_accepted_; }
+
+ private:
+  const Application* app_;
+  AuditOptions options_;
+  InitialState state_;
+  uint64_t epochs_fed_ = 0;
+  uint64_t epochs_accepted_ = 0;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_CORE_AUDIT_SESSION_H_

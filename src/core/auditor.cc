@@ -1,14 +1,12 @@
 #include "src/core/auditor.h"
 
-#include <algorithm>
-#include <atomic>
 #include <cstdlib>
 #include <thread>
-#include <unordered_set>
+#include <utility>
 
 #include "src/common/timer.h"
-#include "src/common/work_steal_pool.h"
-#include "src/lang/acc_interpreter.h"
+#include "src/core/audit_session.h"
+#include "src/core/reexec.h"
 
 namespace orochi {
 
@@ -29,330 +27,10 @@ size_t ResolveAuditThreads(const AuditOptions& options) {
 Auditor::Auditor(const Application* app, AuditOptions options)
     : app_(app), options_(std::move(options)) {}
 
-Status Auditor::ReplaySingleRequest(AuditContext* ctx, RequestId rid, AuditWorkerState* ws) {
-  const TraceEvent* req = ctx->RequestEvent(rid);
-  if (req == nullptr) {
-    return Status::Error("re-exec: rid " + std::to_string(rid) + " is not in the trace");
-  }
-  const Program* prog = app_->GetScript(req->script);
-  if (prog == nullptr) {
-    if (ctx->OpCount(rid) != 0) {
-      return Status::Error("re-exec: rid " + std::to_string(rid) +
-                           " targets an unknown script but claims operations");
-    }
-    ctx->SetOutput(rid, kNoSuchScriptBody);
-    return Status::Ok();
-  }
-  ctx->ResetNondet(rid);
-  Interpreter interp(prog, &req->params, options_.interp);
-  uint32_t opnum = 0;
-  std::string body;
-  while (true) {
-    StepResult step = interp.Run();
-    if (step.kind == StepResult::Kind::kFinished) {
-      body = interp.output();
-      break;
-    }
-    if (step.kind == StepResult::Kind::kError) {
-      body = interp.output() + "\n[error] " + step.error;
-      break;
-    }
-    if (step.kind == StepResult::Kind::kStateOp) {
-      opnum++;
-      Result<OpLocation> loc = ctx->CheckOp(rid, opnum, step.op, ws);
-      if (!loc.ok()) {
-        return Status::Error(loc.error());
-      }
-      Result<Value> v = ctx->SimOp(step.op, loc.value(), ws);
-      if (!v.ok()) {
-        return Status::Error(v.error());
-      }
-      interp.ProvideValue(std::move(v).value());
-      continue;
-    }
-    Result<Value> v = ctx->NextNondet(rid, step.nondet);
-    if (!v.ok()) {
-      return Status::Error(v.error());
-    }
-    interp.ProvideValue(std::move(v).value());
-  }
-  if (opnum != ctx->OpCount(rid)) {
-    return Status::Error("re-exec: rid " + std::to_string(rid) + " issued " +
-                         std::to_string(opnum) + " ops but M(rid) = " +
-                         std::to_string(ctx->OpCount(rid)));
-  }
-  if (Status st = ctx->CheckNondetConsumed(rid); !st.ok()) {
-    return st;
-  }
-  ws->stats->total_instructions += interp.instructions_executed();
-  ctx->SetOutput(rid, std::move(body));
-  return Status::Ok();
-}
-
-Status Auditor::RunGroupChunk(AuditContext* ctx, const Program* prog,
-                              const std::vector<RequestId>& rids, AuditWorkerState* ws) {
-  const size_t n = rids.size();
-  std::vector<const RequestParams*> params(n);
-  for (size_t j = 0; j < n; j++) {
-    const TraceEvent* req = ctx->RequestEvent(rids[j]);
-    if (req == nullptr) {
-      return Status::Error("group re-exec: rid " + std::to_string(rids[j]) +
-                           " is not in the trace");
-    }
-    params[j] = &req->params;
-    ctx->ResetNondet(rids[j]);
-  }
-
-  AccInterpreter acc(prog, std::move(params), options_.interp);
-  uint32_t opnum = 0;
-  while (true) {
-    AccStepResult step = acc.Run();
-    switch (step.kind) {
-      case AccStepResult::Kind::kFinished:
-      case AccStepResult::Kind::kError: {
-        // Figure 12 step (3): each request must have issued exactly M(rid) operations.
-        // (A uniform trap is a deterministic end of the group; its op-count discipline is
-        // the same.)
-        for (size_t j = 0; j < n; j++) {
-          if (opnum != ctx->OpCount(rids[j])) {
-            return Status::Error("group re-exec: rid " + std::to_string(rids[j]) +
-                                 " issued " + std::to_string(opnum) + " ops but M(rid) = " +
-                                 std::to_string(ctx->OpCount(rids[j])));
-          }
-          if (Status st = ctx->CheckNondetConsumed(rids[j]); !st.ok()) {
-            return st;
-          }
-          std::string body = acc.outputs()[j];
-          if (step.kind == AccStepResult::Kind::kError) {
-            body += "\n[error] " + step.error;
-          }
-          ctx->SetOutput(rids[j], std::move(body));
-        }
-        ws->stats->total_instructions += acc.total_instructions();
-        ws->stats->multivalent_instructions += acc.multivalent_instructions();
-        uint64_t len = acc.total_instructions();
-        ws->stats->group_stats.push_back(
-            {prog->script_name, static_cast<uint32_t>(n), len,
-             len == 0 ? 1.0
-                      : 1.0 - static_cast<double>(acc.multivalent_instructions()) /
-                                  static_cast<double>(len)});
-        return Status::Ok();
-      }
-      case AccStepResult::Kind::kDiverged:
-        return Status::Error("group re-exec: control-flow grouping is wrong: " + step.error);
-      case AccStepResult::Kind::kFallback: {
-        // Not representable in lockstep (§4.7): re-execute the chunk's requests
-        // individually. Re-execution is idempotent, so ops already checked recheck fine.
-        ws->stats->fallback_groups++;
-        for (RequestId rid : rids) {
-          if (Status st = ReplaySingleRequest(ctx, rid, ws); !st.ok()) {
-            return st;
-          }
-        }
-        return Status::Ok();
-      }
-      case AccStepResult::Kind::kStateOp: {
-        opnum++;
-        std::vector<Value> results(n);
-        for (size_t j = 0; j < n; j++) {
-          Result<OpLocation> loc = ctx->CheckOp(rids[j], opnum, step.ops[j], ws);
-          if (!loc.ok()) {
-            return Status::Error(loc.error());
-          }
-          Result<Value> v = ctx->SimOp(step.ops[j], loc.value(), ws);
-          if (!v.ok()) {
-            return Status::Error(v.error());
-          }
-          results[j] = std::move(v).value();
-        }
-        acc.ProvideValues(std::move(results));
-        break;
-      }
-      case AccStepResult::Kind::kNondet: {
-        std::vector<Value> results(n);
-        for (size_t j = 0; j < n; j++) {
-          Result<Value> v = ctx->NextNondet(rids[j], step.nondets[j]);
-          if (!v.ok()) {
-            return Status::Error(v.error());
-          }
-          results[j] = std::move(v).value();
-        }
-        acc.ProvideValues(std::move(results));
-        break;
-      }
-    }
-  }
-}
-
-namespace {
-
-// One unit of parallel audit work: a chunk of a control-flow group. `order` is the chunk's
-// position in the sequential walk over groups (group validation consumes a position too),
-// which is the tiebreak that makes rejection deterministic across thread counts.
-struct AuditTask {
-  size_t order = 0;
-  const Program* prog = nullptr;
-  std::vector<RequestId> rids;
-  // True when this chunk shares a rid with an earlier task (possible only for adversarial
-  // reports that list a rid in several groups). Such chunks run serially after the pool
-  // joins, so two workers never touch the same rid's cursor or output slot concurrently.
-  bool serial = false;
-};
-
-constexpr size_t kNoFailure = SIZE_MAX;
-
-}  // namespace
-
 AuditResult Auditor::Audit(const Trace& trace, const Reports& reports,
                            const InitialState& initial) {
-  AuditResult out;
-  AuditContext ctx(&trace, &reports, app_, &initial, options_);
-  if (Status st = ctx.Prepare(); !st.ok()) {
-    out.reason = st.error();
-    out.stats = ctx.stats();
-    return out;
-  }
-
-  // --- Plan: walk groups in report order, validate them, and cut them into chunk tasks.
-  // Validation errors claim the walk position at which sequential execution would have
-  // reported them; planning stops there since no later event can win the min-order race.
-  std::vector<AuditTask> tasks;
-  size_t order = 0;
-  size_t plan_fail_order = kNoFailure;
-  std::string plan_fail_reason;
-  std::unordered_set<RequestId> claimed;
-  for (const auto& [tag, rids] : reports.groups) {
-    (void)tag;
-    if (rids.empty()) {
-      continue;
-    }
-    ctx.stats().num_groups++;
-    if (rids.size() > 1) {
-      ctx.stats().groups_multi++;
-    }
-    const size_t group_order = order++;
-    // All requests in a group must exist and target the same script.
-    const TraceEvent* first = ctx.RequestEvent(rids[0]);
-    if (first == nullptr) {
-      plan_fail_order = group_order;
-      plan_fail_reason = "group contains rid " + std::to_string(rids[0]) + " not in the trace";
-      break;
-    }
-    bool group_ok = true;
-    for (RequestId rid : rids) {
-      const TraceEvent* req = ctx.RequestEvent(rid);
-      if (req == nullptr || req->script != first->script) {
-        plan_fail_order = group_order;
-        plan_fail_reason = "group mixes scripts or names an untraced rid";
-        group_ok = false;
-        break;
-      }
-    }
-    if (!group_ok) {
-      break;
-    }
-    const Program* prog = app_->GetScript(first->script);
-    if (prog == nullptr) {
-      for (RequestId rid : rids) {
-        if (ctx.OpCount(rid) != 0) {
-          plan_fail_order = group_order;
-          plan_fail_reason = "rid " + std::to_string(rid) +
-                             " targets an unknown script but claims operations";
-          group_ok = false;
-          break;
-        }
-        ctx.SetOutput(rid, kNoSuchScriptBody);
-      }
-      if (!group_ok) {
-        break;
-      }
-      continue;
-    }
-    for (size_t start = 0; start < rids.size(); start += options_.max_group_size) {
-      size_t end = std::min(rids.size(), start + options_.max_group_size);
-      AuditTask task;
-      task.order = order++;
-      task.prog = prog;
-      task.rids.assign(rids.begin() + static_cast<ptrdiff_t>(start),
-                       rids.begin() + static_cast<ptrdiff_t>(end));
-      for (RequestId rid : task.rids) {
-        task.serial = task.serial || !claimed.insert(rid).second;
-      }
-      tasks.push_back(std::move(task));
-    }
-  }
-
-  // --- Execute: chunks run on a work-stealing pool, largest-first to minimize makespan.
-  // Each task accumulates into its own stats block; blocks merge in walk order afterwards,
-  // so merged stats (group_stats in particular) are independent of scheduling.
-  std::vector<AuditStats> task_stats(tasks.size());
-  std::vector<std::string> task_error(tasks.size());
-  std::atomic<size_t> first_fail{plan_fail_order};
-  {
-    ScopedAccumulator t(&ctx.stats().reexec_seconds);
-    auto run_task = [&](size_t i) {
-      const AuditTask& task = tasks[i];
-      if (task.order > first_fail.load(std::memory_order_relaxed)) {
-        return;  // A strictly earlier failure already decided the verdict.
-      }
-      AuditWorkerState ws(&task_stats[i]);
-      if (Status st = RunGroupChunk(&ctx, task.prog, task.rids, &ws); !st.ok()) {
-        task_error[i] = st.error();
-        size_t cur = first_fail.load(std::memory_order_relaxed);
-        while (task.order < cur &&
-               !first_fail.compare_exchange_weak(cur, task.order, std::memory_order_relaxed)) {
-        }
-      }
-    };
-
-    std::vector<size_t> pool_tasks;
-    std::vector<size_t> serial_tasks;
-    for (size_t i = 0; i < tasks.size(); i++) {
-      (tasks[i].serial ? serial_tasks : pool_tasks).push_back(i);
-    }
-    const size_t num_threads = ResolveAuditThreads(options_);
-    if (num_threads <= 1 || pool_tasks.size() <= 1) {
-      for (size_t i : pool_tasks) {
-        run_task(i);
-      }
-    } else {
-      // Largest chunk first (chunk size is the cost proxy: group length is unknown until
-      // executed, and chunk cost is roughly requests × script length within one script).
-      std::stable_sort(pool_tasks.begin(), pool_tasks.end(), [&](size_t a, size_t b) {
-        return tasks[a].rids.size() > tasks[b].rids.size();
-      });
-      WorkStealPool(std::min(num_threads, pool_tasks.size())).Run(pool_tasks, run_task);
-    }
-    for (size_t i : serial_tasks) {
-      run_task(i);
-    }
-  }
-  for (const AuditStats& s : task_stats) {
-    ctx.stats().MergeFrom(s);
-  }
-
-  const size_t fail = first_fail.load(std::memory_order_relaxed);
-  if (fail != kNoFailure) {
-    out.reason = plan_fail_reason;
-    for (size_t i = 0; i < tasks.size(); i++) {
-      if (tasks[i].order == fail) {
-        out.reason = task_error[i];
-        break;
-      }
-    }
-    out.stats = ctx.stats();
-    return out;
-  }
-
-  if (Status st = ctx.CompareOutputs(); !st.ok()) {
-    out.reason = st.error();
-    out.stats = ctx.stats();
-    return out;
-  }
-  out.accepted = true;
-  out.final_state = ctx.ExtractFinalState();
-  out.stats = ctx.stats();
-  return out;
+  AuditSession session(app_, options_, initial);
+  return session.FeedEpoch(trace, reports);
 }
 
 AuditResult Auditor::AuditSequential(const Trace& trace, const Reports& reports,
@@ -373,7 +51,7 @@ AuditResult Auditor::AuditSequential(const Trace& trace, const Reports& reports,
       if (e.kind != TraceEvent::Kind::kRequest) {
         continue;
       }
-      if (Status st = ReplaySingleRequest(&ctx, e.rid, &ws); !st.ok()) {
+      if (Status st = ReplaySingleRequest(app_, opts.interp, &ctx, e.rid, &ws); !st.ok()) {
         out.reason = st.error();
         out.stats = ctx.stats();
         return out;

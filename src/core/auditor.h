@@ -1,15 +1,7 @@
-// The SSCO audit procedure (paper Figures 3 and 12) and the simple-re-execution baseline.
-//
-// Audit() is SSCO_AUDIT2: balanced-trace check, consistent-ordering verification
-// (ProcessOpReports), versioned-storage builds, then grouped SIMD-on-demand re-execution
-// with simulate-and-check, and finally the produced-output vs. trace comparison.
-//
-// Group re-execution is parallel: once consistent ordering is verified and the versioned
-// stores are frozen, control-flow groups are independent, so their chunks are dispatched
-// largest-first over a work-stealing pool (AuditOptions::num_threads workers). Accept /
-// reject and the rejection reason are reproducible across thread counts: every chunk keeps
-// its position in the sequential group walk, and the failure with the smallest position
-// wins — exactly the failure single-threaded execution would have reported.
+// Single-shot audit entry points. The grouped SSCO audit engine (paper Figures 3 and 12)
+// lives in AuditSession::FeedEpoch (src/core/audit_session.h), which chains accepted
+// epochs' final states; Auditor::Audit is a thin one-epoch wrapper over a fresh session,
+// kept for compatibility with pre-epoch callers.
 //
 // AuditSequential() re-executes each request individually in trace order with the same
 // checks — no grouping, no query dedup. It corresponds to the paper's "simple
@@ -18,7 +10,6 @@
 #define SRC_CORE_AUDITOR_H_
 
 #include <string>
-#include <vector>
 
 #include "src/core/audit_context.h"
 
@@ -29,7 +20,7 @@ struct AuditResult {
   std::string reason;  // Set on rejection.
   AuditStats stats;
   // Valid only when accepted: the end-of-period object state, which seeds the next
-  // audit's InitialState (§4.5).
+  // audit's InitialState (§4.5). AuditSession does this chaining automatically.
   InitialState final_state;
 };
 
@@ -41,7 +32,8 @@ class Auditor {
  public:
   explicit Auditor(const Application* app, AuditOptions options = {});
 
-  // SSCO grouped audit (parallel over group chunks).
+  // SSCO grouped audit of one epoch (parallel over group chunks): equivalent to feeding a
+  // single epoch to a fresh AuditSession opened at `initial`.
   AuditResult Audit(const Trace& trace, const Reports& reports, const InitialState& initial);
 
   // Per-request baseline with identical checks (grouping and dedup disabled).
@@ -49,14 +41,6 @@ class Auditor {
                               const InitialState& initial);
 
  private:
-  // Re-executes one request with simulate-and-check; fills ctx outputs. Used by the
-  // baseline and by the fallback path for groups acc cannot run in lockstep.
-  Status ReplaySingleRequest(AuditContext* ctx, RequestId rid, AuditWorkerState* ws);
-
-  // Re-executes one control-flow group chunk via the acc interpreter.
-  Status RunGroupChunk(AuditContext* ctx, const Program* prog,
-                       const std::vector<RequestId>& rids, AuditWorkerState* ws);
-
   const Application* app_;
   AuditOptions options_;
 };

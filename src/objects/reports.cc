@@ -11,31 +11,45 @@ int Reports::FindObject(ObjectKind kind, const std::string& name) const {
   return -1;
 }
 
-size_t Reports::ApproximateBytes(bool nondet_only) const {
-  size_t bytes = 0;
-  if (!nondet_only) {
-    for (const ObjectDesc& d : objects) {
-      bytes += d.name.size() + 2;
-    }
-    for (const auto& log : op_logs) {
-      for (const OpRecord& op : log) {
-        bytes += 8 /*rid*/ + 4 /*opnum*/ + 1 /*optype*/ + op.contents.size();
-      }
-    }
-    for (const auto& [tag, rids] : groups) {
-      (void)tag;
-      bytes += 8 + 8 * rids.size();
-    }
-    bytes += 12 * op_counts.size();
-  }
-  for (const auto& [rid, records] : nondet) {
-    (void)rid;
-    bytes += 8;
-    for (const NondetRecord& r : records) {
-      bytes += r.name.size() + r.value.size() + 2;
+Status AppendReports(Reports* dst, const Reports& src) {
+  // Validate rid-disjointness up front so an error never leaves dst half-merged.
+  for (const auto& [rid, count] : src.op_counts) {
+    (void)count;
+    if (dst->op_counts.count(rid) > 0) {
+      return Status::Error("AppendReports: rid " + std::to_string(rid) +
+                           " appears in both epochs");
     }
   }
-  return bytes;
+  for (const auto& [rid, records] : src.nondet) {
+    (void)records;
+    if (dst->nondet.count(rid) > 0) {
+      return Status::Error("AppendReports: nondet for rid " + std::to_string(rid) +
+                           " appears in both epochs");
+    }
+  }
+  // Remap src object ids onto dst's table, creating objects as needed. A src id always
+  // maps to a valid dst log because missing descriptors are appended before use.
+  std::vector<size_t> remap(src.objects.size());
+  for (size_t i = 0; i < src.objects.size(); i++) {
+    int id = dst->FindObject(src.objects[i].kind, src.objects[i].name);
+    if (id < 0) {
+      dst->objects.push_back(src.objects[i]);
+      dst->op_logs.emplace_back();
+      id = static_cast<int>(dst->objects.size() - 1);
+    }
+    remap[i] = static_cast<size_t>(id);
+  }
+  for (size_t i = 0; i < src.op_logs.size() && i < src.objects.size(); i++) {
+    std::vector<OpRecord>& log = dst->op_logs[remap[i]];
+    log.insert(log.end(), src.op_logs[i].begin(), src.op_logs[i].end());
+  }
+  for (const auto& [tag, rids] : src.groups) {
+    std::vector<RequestId>& merged = dst->groups[tag];
+    merged.insert(merged.end(), rids.begin(), rids.end());
+  }
+  dst->op_counts.insert(src.op_counts.begin(), src.op_counts.end());
+  dst->nondet.insert(src.nondet.begin(), src.nondet.end());
+  return Status::Ok();
 }
 
 }  // namespace orochi

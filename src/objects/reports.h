@@ -39,11 +39,20 @@ struct Reports {
   // Finds the object id for a descriptor; -1 when absent.
   int FindObject(ObjectKind kind, const std::string& name) const;
 
-  // Approximate serialized size, for the Figure 8 report-overhead columns. The
-  // `nondet_only` flag sizes just the ND reports (the paper's baseline is charged only for
-  // nondeterminism reports, §5.1).
-  size_t ApproximateBytes(bool nondet_only = false) const;
+  // Exact size of these reports' wire-format spill file (src/objects/wire_format.h), for
+  // the Figure 8 report-overhead columns. The `nondet_only` flag sizes a file carrying
+  // just the ND reports (the paper's baseline is charged only for nondeterminism reports,
+  // §5.1). Implemented in wire_format.cc against the real encoder.
+  size_t WireBytes(bool nondet_only = false) const;
 };
+
+// Appends a later epoch's reports onto `dst`, producing the reports a single continuous
+// recording over both periods would have handed the verifier: per-object op logs
+// concatenate in epoch order (object ids are remapped by descriptor), groups with the same
+// control-flow tag merge, and the per-request maps union. Errors when a requestID appears
+// in both epochs — epoch traces must not share rids if their concatenation is to stay
+// balanced. Used to cross-check an epoch-chained AuditSession against one monolithic audit.
+Status AppendReports(Reports* dst, const Reports& src);
 
 }  // namespace orochi
 

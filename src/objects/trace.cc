@@ -15,22 +15,6 @@ size_t Trace::NumRequests() const {
   return n;
 }
 
-size_t Trace::ApproximateBytes() const {
-  size_t bytes = 0;
-  for (const TraceEvent& e : events) {
-    bytes += 16;  // Event framing + rid.
-    if (e.kind == TraceEvent::Kind::kRequest) {
-      bytes += e.script.size();
-      for (const auto& [k, v] : e.params) {
-        bytes += k.size() + v.size() + 2;
-      }
-    } else {
-      bytes += e.body.size();
-    }
-  }
-  return bytes;
-}
-
 Status CheckTraceBalanced(const Trace& trace) {
   std::unordered_set<RequestId> seen_requests;
   std::unordered_set<RequestId> open_requests;

@@ -29,9 +29,10 @@ struct Trace {
   std::vector<TraceEvent> events;
 
   size_t NumRequests() const;
-  // Approximate wire size (request line + params + response body), for the report-overhead
-  // ratios of Figure 8.
-  size_t ApproximateBytes() const;
+  // Exact size of this trace's wire-format spill file (src/objects/wire_format.h), used by
+  // the report-overhead ratios of Figure 8. Implemented in wire_format.cc so the number is
+  // the byte count `WriteTraceFile` actually produces.
+  size_t WireBytes() const;
 };
 
 // Balanced-trace validation (paper §3): every response follows its request, every request

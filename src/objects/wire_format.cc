@@ -1,0 +1,969 @@
+#include "src/objects/wire_format.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/lang/value.h"
+
+namespace orochi {
+
+namespace {
+
+// A corrupt length prefix must not make the reader attempt a multi-gigabyte allocation.
+constexpr uint64_t kMaxRecordBytes = 1ull << 30;
+
+constexpr size_t kHeaderBytes = sizeof(wire::kMagic) + 4 /*version*/ + 1 /*section*/;
+constexpr size_t kRecordFrameBytes = 1 /*type*/ + 8 /*length*/;
+
+// Trace section record types.
+constexpr uint8_t kRecRequest = 1;
+constexpr uint8_t kRecResponse = 2;
+// Reports section record types.
+constexpr uint8_t kRecObject = 1;
+constexpr uint8_t kRecOpLog = 2;
+constexpr uint8_t kRecGroup = 3;
+constexpr uint8_t kRecOpCounts = 4;
+constexpr uint8_t kRecNondet = 5;
+// State section record types.
+constexpr uint8_t kRecRegisters = 1;
+constexpr uint8_t kRecKv = 2;
+constexpr uint8_t kRecDbTable = 3;
+
+// --- little-endian append primitives ---
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; i++) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; i++) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+size_t StrWireBytes(const std::string& s) { return 4 + s.size(); }
+
+// --- defensive cursor over an in-memory payload ---
+
+struct Cursor {
+  const unsigned char* p;
+  size_t n;
+  size_t pos = 0;
+
+  bool TakeU8(uint8_t* v) {
+    if (pos + 1 > n) {
+      return false;
+    }
+    *v = p[pos++];
+    return true;
+  }
+  bool TakeU32(uint32_t* v) {
+    if (pos + 4 > n) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 4; i++) {
+      *v |= static_cast<uint32_t>(p[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+  bool TakeU64(uint64_t* v) {
+    if (pos + 8 > n) {
+      return false;
+    }
+    *v = 0;
+    for (int i = 0; i < 8; i++) {
+      *v |= static_cast<uint64_t>(p[pos + static_cast<size_t>(i)]) << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+  bool TakeF64(double* v) {
+    uint64_t bits;
+    if (!TakeU64(&bits)) {
+      return false;
+    }
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool TakeStr(std::string* s) {
+    uint32_t len;
+    if (!TakeU32(&len) || pos + len > n) {
+      return false;
+    }
+    s->assign(reinterpret_cast<const char*>(p) + pos, len);
+    pos += len;
+    return true;
+  }
+  bool AtEnd() const { return pos == n; }
+
+  size_t Remaining() const { return n - pos; }
+
+  // True when a declared element count could fit in the remaining payload, each element
+  // costing at least `min_element_bytes`. Checked before any reserve/loop so a forged
+  // count can neither trigger a huge allocation (vector::reserve would throw, and this
+  // codebase is exception-free) nor spin a long loop.
+  bool CountFits(uint64_t count, size_t min_element_bytes) const {
+    return count <= Remaining() / min_element_bytes;
+  }
+};
+
+Cursor MakeCursor(const std::string& bytes) {
+  return Cursor{reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size()};
+}
+
+// --- file sink: buffered FILE* writes with sticky failure, or pure byte counting ---
+
+class Sink {
+ public:
+  Sink() = default;  // Counting only.
+  explicit Sink(std::FILE* f) : file_(f) {}
+
+  void Write(const char* p, size_t n) {
+    if (file_ != nullptr && !failed_ && std::fwrite(p, 1, n, file_) != n) {
+      failed_ = true;
+    }
+    bytes_ += n;
+  }
+  void Write(const std::string& s) { Write(s.data(), s.size()); }
+
+  void WriteHeader(wire::Section section) {
+    std::string h;
+    h.append(wire::kMagic, sizeof(wire::kMagic));
+    PutU32(&h, wire::kFormatVersion);
+    PutU8(&h, static_cast<uint8_t>(section));
+    Write(h);
+  }
+
+  void WriteRecord(uint8_t type, const std::string& payload) {
+    std::string frame;
+    PutU8(&frame, type);
+    PutU64(&frame, payload.size());
+    Write(frame);
+    Write(payload);
+  }
+
+  void WriteEnd() { WriteRecord(wire::kEndRecord, std::string()); }
+
+  bool failed() const { return failed_; }
+  size_t bytes() const { return bytes_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool failed_ = false;
+  size_t bytes_ = 0;
+};
+
+Status SinkStatus(const Sink& sink, const std::string& path) {
+  if (sink.failed()) {
+    return Status::Error("wire: short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Status CloseFile(std::FILE** f, const std::string& path, Status pending) {
+  if (*f != nullptr) {
+    int rc = std::fclose(*f);
+    *f = nullptr;
+    if (rc != 0 && pending.ok()) {
+      return Status::Error("wire: close failed for " + path);
+    }
+  }
+  return pending;
+}
+
+// Validates the 13-byte envelope header against the expected section kind.
+Status CheckHeader(const unsigned char* h, wire::Section want, const std::string& path) {
+  if (std::memcmp(h, wire::kMagic, sizeof(wire::kMagic)) != 0) {
+    return Status::Error("wire: bad magic in " + path);
+  }
+  uint32_t version = 0;
+  for (int i = 0; i < 4; i++) {
+    version |= static_cast<uint32_t>(h[sizeof(wire::kMagic) + i]) << (8 * i);
+  }
+  if (version != wire::kFormatVersion) {
+    return Status::Error("wire: unsupported format version " + std::to_string(version) +
+                         " in " + path);
+  }
+  uint8_t section = h[sizeof(wire::kMagic) + 4];
+  if (section != static_cast<uint8_t>(want)) {
+    return Status::Error("wire: " + path + " holds section kind " + std::to_string(section) +
+                         ", expected " + std::to_string(static_cast<int>(want)));
+  }
+  return Status::Ok();
+}
+
+Status ReadHeaderFromFile(std::FILE* f, wire::Section want, const std::string& path) {
+  unsigned char h[kHeaderBytes];
+  if (std::fread(h, 1, sizeof(h), f) != sizeof(h)) {
+    return Status::Error("wire: truncated header in " + path);
+  }
+  return CheckHeader(h, want, path);
+}
+
+// Reads one record frame + payload. Returns false on the end record; errors on
+// truncation, oversized lengths, or trailing bytes after the end record.
+Result<bool> ReadRecordFromFile(std::FILE* f, const std::string& path, uint8_t* type,
+                                std::string* payload) {
+  unsigned char frame[kRecordFrameBytes];
+  if (std::fread(frame, 1, sizeof(frame), f) != sizeof(frame)) {
+    return Result<bool>::Error("wire: truncated record frame in " + path);
+  }
+  *type = frame[0];
+  uint64_t len = 0;
+  for (int i = 0; i < 8; i++) {
+    len |= static_cast<uint64_t>(frame[1 + i]) << (8 * i);
+  }
+  if (*type == wire::kEndRecord) {
+    if (len != 0) {
+      return Result<bool>::Error("wire: end record with nonzero length in " + path);
+    }
+    if (std::fgetc(f) != EOF) {
+      return Result<bool>::Error("wire: trailing bytes after end record in " + path);
+    }
+    return false;
+  }
+  if (len > kMaxRecordBytes) {
+    return Result<bool>::Error("wire: record length " + std::to_string(len) +
+                               " exceeds limit in " + path);
+  }
+  payload->resize(static_cast<size_t>(len));
+  if (len > 0 && std::fread(&(*payload)[0], 1, payload->size(), f) != payload->size()) {
+    return Result<bool>::Error("wire: truncated record payload in " + path);
+  }
+  return true;
+}
+
+// --- trace event payloads ---
+
+uint8_t TraceEventRecordType(const TraceEvent& e) {
+  return e.kind == TraceEvent::Kind::kRequest ? kRecRequest : kRecResponse;
+}
+
+void EncodeTraceEvent(const TraceEvent& e, std::string* out) {
+  out->clear();
+  PutU64(out, e.rid);
+  if (e.kind == TraceEvent::Kind::kRequest) {
+    PutStr(out, e.script);
+    PutU32(out, static_cast<uint32_t>(e.params.size()));
+    for (const auto& [k, v] : e.params) {
+      PutStr(out, k);
+      PutStr(out, v);
+    }
+  } else {
+    PutStr(out, e.body);
+  }
+}
+
+Result<TraceEvent> DecodeTraceEvent(uint8_t type, const std::string& payload,
+                                    const std::string& path) {
+  TraceEvent e;
+  Cursor c = MakeCursor(payload);
+  if (type == kRecRequest) {
+    e.kind = TraceEvent::Kind::kRequest;
+    uint32_t nparams = 0;
+    if (!c.TakeU64(&e.rid) || !c.TakeStr(&e.script) || !c.TakeU32(&nparams)) {
+      return Result<TraceEvent>::Error("wire: malformed request record in " + path);
+    }
+    for (uint32_t i = 0; i < nparams; i++) {
+      std::string k, v;
+      if (!c.TakeStr(&k) || !c.TakeStr(&v)) {
+        return Result<TraceEvent>::Error("wire: malformed request params in " + path);
+      }
+      e.params[std::move(k)] = std::move(v);
+    }
+  } else if (type == kRecResponse) {
+    e.kind = TraceEvent::Kind::kResponse;
+    if (!c.TakeU64(&e.rid) || !c.TakeStr(&e.body)) {
+      return Result<TraceEvent>::Error("wire: malformed response record in " + path);
+    }
+  } else {
+    return Result<TraceEvent>::Error("wire: unknown trace record type " +
+                                     std::to_string(type) + " in " + path);
+  }
+  if (!c.AtEnd()) {
+    return Result<TraceEvent>::Error("wire: trailing bytes in trace record in " + path);
+  }
+  return e;
+}
+
+// --- reports section encode ---
+
+void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
+  sink->WriteHeader(wire::Section::kReports);
+  std::string payload;
+  if (!nondet_only) {
+    for (const ObjectDesc& d : reports.objects) {
+      payload.clear();
+      PutU8(&payload, static_cast<uint8_t>(d.kind));
+      PutStr(&payload, d.name);
+      sink->WriteRecord(kRecObject, payload);
+    }
+    for (size_t i = 0; i < reports.op_logs.size(); i++) {
+      const std::vector<OpRecord>& log = reports.op_logs[i];
+      if (log.empty()) {
+        continue;
+      }
+      payload.clear();
+      PutU32(&payload, static_cast<uint32_t>(i));
+      PutU64(&payload, log.size());
+      for (const OpRecord& op : log) {
+        PutU64(&payload, op.rid);
+        PutU32(&payload, op.opnum);
+        PutU8(&payload, static_cast<uint8_t>(op.type));
+        PutStr(&payload, op.contents);
+      }
+      sink->WriteRecord(kRecOpLog, payload);
+    }
+    for (const auto& [tag, rids] : reports.groups) {
+      payload.clear();
+      PutU64(&payload, tag);
+      PutU64(&payload, rids.size());
+      for (RequestId rid : rids) {
+        PutU64(&payload, rid);
+      }
+      sink->WriteRecord(kRecGroup, payload);
+    }
+    // unordered_map -> sorted so the encoding (and its byte count) is canonical.
+    std::vector<std::pair<RequestId, uint32_t>> counts(reports.op_counts.begin(),
+                                                       reports.op_counts.end());
+    std::sort(counts.begin(), counts.end());
+    payload.clear();
+    PutU64(&payload, counts.size());
+    for (const auto& [rid, count] : counts) {
+      PutU64(&payload, rid);
+      PutU32(&payload, count);
+    }
+    sink->WriteRecord(kRecOpCounts, payload);
+  }
+  std::vector<RequestId> nondet_rids;
+  nondet_rids.reserve(reports.nondet.size());
+  for (const auto& [rid, records] : reports.nondet) {
+    (void)records;
+    nondet_rids.push_back(rid);
+  }
+  std::sort(nondet_rids.begin(), nondet_rids.end());
+  for (RequestId rid : nondet_rids) {
+    const std::vector<NondetRecord>& records = reports.nondet.at(rid);
+    payload.clear();
+    PutU64(&payload, rid);
+    PutU32(&payload, static_cast<uint32_t>(records.size()));
+    for (const NondetRecord& r : records) {
+      PutStr(&payload, r.name);
+      PutStr(&payload, r.value);
+    }
+    sink->WriteRecord(kRecNondet, payload);
+  }
+  sink->WriteEnd();
+}
+
+Status DecodeReportsRecord(uint8_t type, const std::string& payload, const std::string& path,
+                           bool* saw_op_counts, Reports* out) {
+  Cursor c = MakeCursor(payload);
+  switch (type) {
+    case kRecObject: {
+      uint8_t kind;
+      std::string name;
+      if (!c.TakeU8(&kind) || !c.TakeStr(&name) || !c.AtEnd()) {
+        return Status::Error("wire: malformed object record in " + path);
+      }
+      if (kind > static_cast<uint8_t>(ObjectKind::kDb)) {
+        return Status::Error("wire: unknown object kind " + std::to_string(kind) + " in " +
+                             path);
+      }
+      out->objects.push_back({static_cast<ObjectKind>(kind), std::move(name)});
+      out->op_logs.emplace_back();
+      return Status::Ok();
+    }
+    case kRecOpLog: {
+      uint32_t object = 0;
+      uint64_t count = 0;
+      if (!c.TakeU32(&object) || !c.TakeU64(&count)) {
+        return Status::Error("wire: malformed op-log record in " + path);
+      }
+      if (object >= out->op_logs.size()) {
+        return Status::Error("wire: op-log for unknown object id " + std::to_string(object) +
+                             " in " + path);
+      }
+      std::vector<OpRecord>& log = out->op_logs[object];
+      if (!log.empty()) {
+        return Status::Error("wire: duplicate op-log record for object id " +
+                             std::to_string(object) + " in " + path);
+      }
+      if (!c.CountFits(count, 8 + 4 + 1 + 4)) {  // rid + opnum + type + empty contents.
+        return Status::Error("wire: op-log count " + std::to_string(count) +
+                             " exceeds payload in " + path);
+      }
+      log.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; i++) {
+        OpRecord op;
+        uint8_t optype;
+        if (!c.TakeU64(&op.rid) || !c.TakeU32(&op.opnum) || !c.TakeU8(&optype) ||
+            !c.TakeStr(&op.contents)) {
+          return Status::Error("wire: malformed op record in " + path);
+        }
+        if (optype > static_cast<uint8_t>(StateOpType::kDbOp)) {
+          return Status::Error("wire: unknown op type " + std::to_string(optype) + " in " +
+                               path);
+        }
+        op.type = static_cast<StateOpType>(optype);
+        log.push_back(std::move(op));
+      }
+      if (!c.AtEnd()) {
+        return Status::Error("wire: trailing bytes in op-log record in " + path);
+      }
+      return Status::Ok();
+    }
+    case kRecGroup: {
+      uint64_t tag = 0, count = 0;
+      if (!c.TakeU64(&tag) || !c.TakeU64(&count)) {
+        return Status::Error("wire: malformed group record in " + path);
+      }
+      if (out->groups.count(tag) > 0) {
+        return Status::Error("wire: duplicate group tag " + std::to_string(tag) + " in " +
+                             path);
+      }
+      if (!c.CountFits(count, 8)) {
+        return Status::Error("wire: group size " + std::to_string(count) +
+                             " exceeds payload in " + path);
+      }
+      std::vector<RequestId>& rids = out->groups[tag];
+      rids.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; i++) {
+        RequestId rid;
+        if (!c.TakeU64(&rid)) {
+          return Status::Error("wire: malformed group record in " + path);
+        }
+        rids.push_back(rid);
+      }
+      if (!c.AtEnd()) {
+        return Status::Error("wire: trailing bytes in group record in " + path);
+      }
+      return Status::Ok();
+    }
+    case kRecOpCounts: {
+      // The writer emits exactly one op-counts record; accepting several would let two
+      // distinct byte streams decode to the same Reports.
+      if (*saw_op_counts) {
+        return Status::Error("wire: duplicate op-counts record in " + path);
+      }
+      *saw_op_counts = true;
+      uint64_t count = 0;
+      if (!c.TakeU64(&count)) {
+        return Status::Error("wire: malformed op-counts record in " + path);
+      }
+      for (uint64_t i = 0; i < count; i++) {
+        RequestId rid;
+        uint32_t ops;
+        if (!c.TakeU64(&rid) || !c.TakeU32(&ops)) {
+          return Status::Error("wire: malformed op-counts record in " + path);
+        }
+        if (!out->op_counts.emplace(rid, ops).second) {
+          return Status::Error("wire: duplicate op count for rid " + std::to_string(rid) +
+                               " in " + path);
+        }
+      }
+      if (!c.AtEnd()) {
+        return Status::Error("wire: trailing bytes in op-counts record in " + path);
+      }
+      return Status::Ok();
+    }
+    case kRecNondet: {
+      RequestId rid;
+      uint32_t count = 0;
+      if (!c.TakeU64(&rid) || !c.TakeU32(&count)) {
+        return Status::Error("wire: malformed nondet record in " + path);
+      }
+      if (out->nondet.count(rid) > 0) {
+        return Status::Error("wire: duplicate nondet record for rid " + std::to_string(rid) +
+                             " in " + path);
+      }
+      if (!c.CountFits(count, 4 + 4)) {  // Two empty strings.
+        return Status::Error("wire: nondet count " + std::to_string(count) +
+                             " exceeds payload in " + path);
+      }
+      std::vector<NondetRecord>& records = out->nondet[rid];
+      records.reserve(count);
+      for (uint32_t i = 0; i < count; i++) {
+        NondetRecord r;
+        if (!c.TakeStr(&r.name) || !c.TakeStr(&r.value)) {
+          return Status::Error("wire: malformed nondet record in " + path);
+        }
+        records.push_back(std::move(r));
+      }
+      if (!c.AtEnd()) {
+        return Status::Error("wire: trailing bytes in nondet record in " + path);
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::Error("wire: unknown reports record type " + std::to_string(type) +
+                           " in " + path);
+  }
+}
+
+// --- state section encode ---
+
+void EncodeValueMap(const std::map<std::string, Value>& m, std::string* out) {
+  PutU64(out, m.size());
+  for (const auto& [name, v] : m) {
+    PutStr(out, name);
+    PutStr(out, v.Serialize());
+  }
+}
+
+Status DecodeValueMap(Cursor* c, const std::string& what, const std::string& path,
+                      std::map<std::string, Value>* out) {
+  uint64_t count = 0;
+  if (!c->TakeU64(&count)) {
+    return Status::Error("wire: malformed " + what + " record in " + path);
+  }
+  for (uint64_t i = 0; i < count; i++) {
+    std::string name, bytes;
+    if (!c->TakeStr(&name) || !c->TakeStr(&bytes)) {
+      return Status::Error("wire: malformed " + what + " record in " + path);
+    }
+    Result<Value> v = DeserializeValue(bytes);
+    if (!v.ok()) {
+      return Status::Error("wire: bad " + what + " value for '" + name + "' in " + path +
+                           ": " + v.error());
+    }
+    if (!out->emplace(std::move(name), std::move(v).value()).second) {
+      return Status::Error("wire: duplicate " + what + " entry in " + path);
+    }
+  }
+  if (!c->AtEnd()) {
+    return Status::Error("wire: trailing bytes in " + what + " record in " + path);
+  }
+  return Status::Ok();
+}
+
+void EncodeSqlCell(const SqlValue& v, std::string* out) {
+  if (v.is_null()) {
+    PutU8(out, 0);
+  } else if (v.is_int()) {
+    PutU8(out, 1);
+    PutU64(out, static_cast<uint64_t>(v.as_int()));
+  } else if (v.is_float()) {
+    PutU8(out, 2);
+    PutF64(out, v.as_float());
+  } else {
+    PutU8(out, 3);
+    PutStr(out, v.as_text());
+  }
+}
+
+bool DecodeSqlCell(Cursor* c, SqlValue* out) {
+  uint8_t tag;
+  if (!c->TakeU8(&tag)) {
+    return false;
+  }
+  switch (tag) {
+    case 0:
+      *out = SqlValue::Null();
+      return true;
+    case 1: {
+      uint64_t bits;
+      if (!c->TakeU64(&bits)) {
+        return false;
+      }
+      *out = SqlValue::Int(static_cast<int64_t>(bits));
+      return true;
+    }
+    case 2: {
+      double d;
+      if (!c->TakeF64(&d)) {
+        return false;
+      }
+      *out = SqlValue::Float(d);
+      return true;
+    }
+    case 3: {
+      std::string s;
+      if (!c->TakeStr(&s)) {
+        return false;
+      }
+      *out = SqlValue::Text(std::move(s));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void WriteStateToSink(Sink* sink, const InitialState& state) {
+  sink->WriteHeader(wire::Section::kState);
+  std::string payload;
+  payload.clear();
+  EncodeValueMap(state.registers, &payload);
+  sink->WriteRecord(kRecRegisters, payload);
+  payload.clear();
+  EncodeValueMap(state.kv, &payload);
+  sink->WriteRecord(kRecKv, payload);
+  for (const std::string& table : state.db.TableNames()) {
+    const std::vector<ColumnDef>* schema = state.db.Schema(table);
+    const std::vector<SqlRow>* rows = state.db.Rows(table);
+    payload.clear();
+    PutStr(&payload, table);
+    PutU32(&payload, schema == nullptr ? 0 : static_cast<uint32_t>(schema->size()));
+    if (schema != nullptr) {
+      for (const ColumnDef& col : *schema) {
+        PutStr(&payload, col.name);
+        PutU8(&payload, static_cast<uint8_t>(col.type));
+      }
+    }
+    PutU64(&payload, rows == nullptr ? 0 : rows->size());
+    if (rows != nullptr) {
+      for (const SqlRow& row : *rows) {
+        for (const SqlValue& cell : row) {
+          EncodeSqlCell(cell, &payload);
+        }
+      }
+    }
+    sink->WriteRecord(kRecDbTable, payload);
+  }
+  sink->WriteEnd();
+}
+
+Status DecodeStateRecord(uint8_t type, const std::string& payload, const std::string& path,
+                         bool* saw_registers, bool* saw_kv, InitialState* out) {
+  Cursor c = MakeCursor(payload);
+  switch (type) {
+    case kRecRegisters:
+      if (*saw_registers) {
+        return Status::Error("wire: duplicate registers record in " + path);
+      }
+      *saw_registers = true;
+      return DecodeValueMap(&c, "register", path, &out->registers);
+    case kRecKv:
+      if (*saw_kv) {
+        return Status::Error("wire: duplicate kv record in " + path);
+      }
+      *saw_kv = true;
+      return DecodeValueMap(&c, "kv", path, &out->kv);
+    case kRecDbTable: {
+      std::string table;
+      uint32_t ncols = 0;
+      if (!c.TakeStr(&table) || !c.TakeU32(&ncols)) {
+        return Status::Error("wire: malformed table record in " + path);
+      }
+      std::vector<ColumnDef> schema;
+      schema.reserve(ncols);
+      for (uint32_t i = 0; i < ncols; i++) {
+        ColumnDef col;
+        uint8_t sqltype;
+        if (!c.TakeStr(&col.name) || !c.TakeU8(&sqltype)) {
+          return Status::Error("wire: malformed table schema in " + path);
+        }
+        if (sqltype > static_cast<uint8_t>(SqlType::kText)) {
+          return Status::Error("wire: unknown SQL type " + std::to_string(sqltype) + " in " +
+                               path);
+        }
+        col.type = static_cast<SqlType>(sqltype);
+        schema.push_back(std::move(col));
+      }
+      uint64_t nrows = 0;
+      if (!c.TakeU64(&nrows)) {
+        return Status::Error("wire: malformed table record in " + path);
+      }
+      // Each cell costs at least its 1-byte tag, so a row costs at least ncols bytes; a
+      // zero-width schema admits no rows at all (otherwise the row loop would consume no
+      // payload and a forged nrows could spin it unbounded).
+      if (ncols == 0 ? nrows > 0 : !c.CountFits(nrows, ncols)) {
+        return Status::Error("wire: table row count " + std::to_string(nrows) +
+                             " exceeds payload in " + path);
+      }
+      std::vector<SqlRow> rows;
+      rows.reserve(static_cast<size_t>(nrows));
+      for (uint64_t r = 0; r < nrows; r++) {
+        SqlRow row;
+        row.reserve(ncols);
+        for (uint32_t i = 0; i < ncols; i++) {
+          SqlValue cell;
+          if (!DecodeSqlCell(&c, &cell)) {
+            return Status::Error("wire: malformed table row in " + path);
+          }
+          row.push_back(std::move(cell));
+        }
+        rows.push_back(std::move(row));
+      }
+      if (!c.AtEnd()) {
+        return Status::Error("wire: trailing bytes in table record in " + path);
+      }
+      if (Status st = out->db.LoadTable(table, std::move(schema), std::move(rows));
+          !st.ok()) {
+        return Status::Error("wire: " + st.error() + " in " + path);
+      }
+      return Status::Ok();
+    }
+    default:
+      return Status::Error("wire: unknown state record type " + std::to_string(type) +
+                           " in " + path);
+  }
+}
+
+// Drives the record loop shared by the reports and state readers.
+template <typename Fn>
+Status ReadSectionFile(const std::string& path, wire::Section section, Fn&& on_record) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Error("wire: cannot open " + path);
+  }
+  Status st = ReadHeaderFromFile(f, section, path);
+  std::string payload;
+  while (st.ok()) {
+    uint8_t type = 0;
+    Result<bool> more = ReadRecordFromFile(f, path, &type, &payload);
+    if (!more.ok()) {
+      st = Status::Error(more.error());
+      break;
+    }
+    if (!more.value()) {
+      break;
+    }
+    st = on_record(type, payload);
+  }
+  return CloseFile(&f, path, st);
+}
+
+}  // namespace
+
+// --- TraceWriter / TraceReader ---
+
+TraceWriter::~TraceWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status TraceWriter::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::Error("wire: TraceWriter already open");
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::Error("wire: cannot create " + path);
+  }
+  Sink sink(file_);
+  sink.WriteHeader(wire::Section::kTrace);
+  return SinkStatus(sink, path);
+}
+
+Status TraceWriter::Append(const TraceEvent& event) {
+  if (file_ == nullptr) {
+    return Status::Error("wire: TraceWriter is not open");
+  }
+  EncodeTraceEvent(event, &scratch_);
+  Sink sink(file_);
+  sink.WriteRecord(TraceEventRecordType(event), scratch_);
+  return SinkStatus(sink, "trace file");
+}
+
+Status TraceWriter::Finish() {
+  if (file_ == nullptr) {
+    return Status::Error("wire: TraceWriter is not open");
+  }
+  Sink sink(file_);
+  sink.WriteEnd();
+  Status st = SinkStatus(sink, "trace file");
+  return CloseFile(&file_, "trace file", st);
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status TraceReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::Error("wire: TraceReader already open");
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::Error("wire: cannot open " + path);
+  }
+  Status st = ReadHeaderFromFile(file_, wire::Section::kTrace, path);
+  if (!st.ok()) {
+    return CloseFile(&file_, path, st);
+  }
+  return Status::Ok();
+}
+
+Result<bool> TraceReader::Next(TraceEvent* event) {
+  if (done_) {
+    // A clean end stays a clean end on repeated calls; a failure stays sticky.
+    if (!error_.empty()) {
+      return Result<bool>::Error(error_);
+    }
+    return false;
+  }
+  if (file_ == nullptr) {
+    return Result<bool>::Error("wire: TraceReader is not open");
+  }
+  uint8_t type = 0;
+  Result<bool> more = ReadRecordFromFile(file_, "trace file", &type, &scratch_);
+  if (!more.ok() || !more.value()) {
+    done_ = true;
+    Status st = CloseFile(&file_, "trace file", more.ok() ? Status::Ok() : Status::Error(more.error()));
+    if (!st.ok()) {
+      error_ = st.error();
+      return Result<bool>::Error(error_);
+    }
+    return false;
+  }
+  Result<TraceEvent> decoded = DecodeTraceEvent(type, scratch_, "trace file");
+  if (!decoded.ok()) {
+    done_ = true;
+    (void)CloseFile(&file_, "trace file", Status::Ok());
+    error_ = decoded.error();
+    return Result<bool>::Error(error_);
+  }
+  *event = std::move(decoded).value();
+  return true;
+}
+
+Status WriteTraceFile(const std::string& path, const Trace& trace) {
+  TraceWriter writer;
+  if (Status st = writer.Open(path); !st.ok()) {
+    return st;
+  }
+  for (const TraceEvent& e : trace.events) {
+    if (Status st = writer.Append(e); !st.ok()) {
+      return st;
+    }
+  }
+  return writer.Finish();
+}
+
+Result<Trace> ReadTraceFile(const std::string& path) {
+  TraceReader reader;
+  if (Status st = reader.Open(path); !st.ok()) {
+    return Result<Trace>::Error(st.error());
+  }
+  Trace trace;
+  while (true) {
+    TraceEvent e;
+    Result<bool> more = reader.Next(&e);
+    if (!more.ok()) {
+      return Result<Trace>::Error(more.error());
+    }
+    if (!more.value()) {
+      break;
+    }
+    trace.events.push_back(std::move(e));
+  }
+  return trace;
+}
+
+// --- ReportsWriter / ReportsReader ---
+
+Status ReportsWriter::WriteFile(const std::string& path, const Reports& reports) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("wire: cannot create " + path);
+  }
+  Sink sink(f);
+  WriteReportsToSink(&sink, reports, /*nondet_only=*/false);
+  return CloseFile(&f, path, SinkStatus(sink, path));
+}
+
+Result<Reports> ReportsReader::ReadFile(const std::string& path) {
+  Reports out;
+  bool saw_op_counts = false;
+  Status st = ReadSectionFile(path, wire::Section::kReports,
+                              [&](uint8_t type, const std::string& payload) {
+                                return DecodeReportsRecord(type, payload, path,
+                                                           &saw_op_counts, &out);
+                              });
+  if (!st.ok()) {
+    return Result<Reports>::Error(st.error());
+  }
+  return out;
+}
+
+// --- InitialState files ---
+
+Status WriteInitialStateFile(const std::string& path, const InitialState& state) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("wire: cannot create " + path);
+  }
+  Sink sink(f);
+  WriteStateToSink(&sink, state);
+  return CloseFile(&f, path, SinkStatus(sink, path));
+}
+
+Result<InitialState> ReadInitialStateFile(const std::string& path) {
+  InitialState out;
+  bool saw_registers = false;
+  bool saw_kv = false;
+  Status st = ReadSectionFile(path, wire::Section::kState,
+                              [&](uint8_t type, const std::string& payload) {
+                                return DecodeStateRecord(type, payload, path, &saw_registers,
+                                                         &saw_kv, &out);
+                              });
+  if (!st.ok()) {
+    return Result<InitialState>::Error(st.error());
+  }
+  return out;
+}
+
+// --- exact wire sizes ---
+
+size_t TraceWireBytes(const Trace& trace) {
+  // Sum record sizes directly instead of re-encoding: framing + fixed fields + strings.
+  size_t bytes = kHeaderBytes + kRecordFrameBytes;  // Header + end record.
+  for (const TraceEvent& e : trace.events) {
+    bytes += kRecordFrameBytes + 8;  // rid.
+    if (e.kind == TraceEvent::Kind::kRequest) {
+      bytes += StrWireBytes(e.script) + 4;
+      for (const auto& [k, v] : e.params) {
+        bytes += StrWireBytes(k) + StrWireBytes(v);
+      }
+    } else {
+      bytes += StrWireBytes(e.body);
+    }
+  }
+  return bytes;
+}
+
+size_t ReportsWireBytes(const Reports& reports, bool nondet_only) {
+  Sink sink;  // Counting only: same encoder as WriteFile, so the count is exact.
+  WriteReportsToSink(&sink, reports, nondet_only);
+  return sink.bytes();
+}
+
+size_t InitialStateWireBytes(const InitialState& state) {
+  Sink sink;
+  WriteStateToSink(&sink, state);
+  return sink.bytes();
+}
+
+// Declared in trace.h / reports.h; defined here next to the encoders they price.
+size_t Trace::WireBytes() const { return TraceWireBytes(*this); }
+
+size_t Reports::WireBytes(bool nondet_only) const {
+  return ReportsWireBytes(*this, nondet_only);
+}
+
+}  // namespace orochi

@@ -1,0 +1,127 @@
+// Versioned binary wire format decoupling the collector/executor from the auditor
+// (paper §2, §4.5 deployment model): the trusted collector spills the trace per epoch,
+// the executor spills its reports, and the verifier later audits the files in a separate
+// process via AuditSession. Three section kinds share one envelope:
+//
+//   header:  8-byte magic "OROCHIWF", u32 format version (little-endian), u8 section kind
+//   records: u8 record type, u64 payload length, payload bytes
+//   footer:  the end record (type 0, length 0)
+//
+// All integers are little-endian; strings are u32 length + raw bytes; wscript Values ride
+// as their canonical Serialize() form. A file is rejected (Status/Result error, never a
+// crash) on bad magic, unsupported version, wrong section kind, truncation, or malformed
+// payloads — report and state files cross a trust boundary, so readers parse defensively.
+//
+// The same encoders back the exact byte accounting (`TraceWireBytes`, `ReportsWireBytes`,
+// `InitialStateWireBytes`) used by the Figure 8 overhead columns, so reported sizes equal
+// the bytes a spill file actually occupies.
+#ifndef SRC_OBJECTS_WIRE_FORMAT_H_
+#define SRC_OBJECTS_WIRE_FORMAT_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/objects/reports.h"
+#include "src/objects/stores.h"
+#include "src/objects/trace.h"
+
+namespace orochi {
+
+namespace wire {
+
+inline constexpr char kMagic[8] = {'O', 'R', 'O', 'C', 'H', 'I', 'W', 'F'};
+inline constexpr uint32_t kFormatVersion = 1;
+
+enum class Section : uint8_t { kTrace = 1, kReports = 2, kState = 3 };
+
+// Record type 0 with an empty payload terminates every section.
+inline constexpr uint8_t kEndRecord = 0;
+
+}  // namespace wire
+
+// --- Trace files ---
+// One record per TraceEvent, in collector order, so the collector can stream events to
+// disk as an epoch closes without materializing a second copy.
+
+class TraceWriter {
+ public:
+  TraceWriter() = default;
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Append(const TraceEvent& event);
+  // Writes the end record and closes; the file is valid only after Finish succeeds.
+  Status Finish();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string scratch_;
+};
+
+class TraceReader {
+ public:
+  TraceReader() = default;
+  ~TraceReader();
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  Status Open(const std::string& path);
+  // True: *event holds the next trace event. False: clean end of section (and on any
+  // further calls). Error: corrupt/truncated file (sticky across calls).
+  Result<bool> Next(TraceEvent* event);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string scratch_;
+  bool done_ = false;
+  std::string error_;  // Nonempty once a read has failed.
+};
+
+Status WriteTraceFile(const std::string& path, const Trace& trace);
+Result<Trace> ReadTraceFile(const std::string& path);
+
+// --- Reports files ---
+// Section layout: object-table records (in object-id order), one op-log record per
+// non-empty log, group records, one op-counts record, nondet records (sorted by rid so the
+// encoding is canonical).
+
+class ReportsWriter {
+ public:
+  static Status WriteFile(const std::string& path, const Reports& reports);
+};
+
+class ReportsReader {
+ public:
+  static Result<Reports> ReadFile(const std::string& path);
+};
+
+inline Status WriteReportsFile(const std::string& path, const Reports& reports) {
+  return ReportsWriter::WriteFile(path, reports);
+}
+inline Result<Reports> ReadReportsFile(const std::string& path) {
+  return ReportsReader::ReadFile(path);
+}
+
+// --- InitialState snapshot files ---
+// Registers, KV contents, and every database table (schema + rows), enough to reopen an
+// AuditSession in a fresh process with the state a previous epoch's audit accepted.
+
+Status WriteInitialStateFile(const std::string& path, const InitialState& state);
+Result<InitialState> ReadInitialStateFile(const std::string& path);
+
+// --- Exact wire sizes ---
+// The byte count of the file the corresponding writer would produce (header and end
+// record included). `nondet_only` prices a reports file carrying only the nondeterminism
+// records — the paper's baseline is charged for exactly that advice (§5.1).
+
+size_t TraceWireBytes(const Trace& trace);
+size_t ReportsWireBytes(const Reports& reports, bool nondet_only = false);
+size_t InitialStateWireBytes(const InitialState& state);
+
+}  // namespace orochi
+
+#endif  // SRC_OBJECTS_WIRE_FORMAT_H_

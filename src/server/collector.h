@@ -1,13 +1,17 @@
 // The trace collector: the trusted middlebox of paper §1/§4 that records requests and
-// responses in the order they actually cross the server boundary.
+// responses in the order they actually cross the server boundary. In the periodic-audit
+// deployment (§2, §4.5) the collector also closes epochs: Flush() spills everything
+// recorded so far to a wire-format file and starts the next epoch's trace empty.
 #ifndef SRC_SERVER_COLLECTOR_H_
 #define SRC_SERVER_COLLECTOR_H_
 
 #include <mutex>
 #include <string>
+#include <utility>
 
 #include "src/lang/interpreter.h"
 #include "src/objects/trace.h"
+#include "src/objects/wire_format.h"
 
 namespace orochi {
 
@@ -32,12 +36,36 @@ class Collector {
     trace_.events.push_back(std::move(e));
   }
 
-  // Call after draining the server.
-  const Trace& trace() const { return trace_; }
-  Trace TakeTrace() { return std::move(trace_); }
+  // Snapshot of the trace recorded so far (copy taken under the lock; safe while workers
+  // are still recording, though the snapshot is only balanced after a drain).
+  Trace trace() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trace_;
+  }
+
+  // Hands over the recorded trace and leaves an empty one behind, so the collector keeps
+  // recording the next epoch.
+  Trace TakeTrace() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Trace out = std::move(trace_);
+    trace_ = Trace{};
+    return out;
+  }
+
+  // Closes the current epoch: spills the recorded trace to a wire-format file and, on
+  // success, resets the in-memory trace for the next epoch. On failure the trace is kept
+  // so no recorded traffic is lost. Call after draining the server.
+  Status Flush(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (Status st = WriteTraceFile(path, trace_); !st.ok()) {
+      return st;
+    }
+    trace_ = Trace{};
+    return Status::Ok();
+  }
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   Trace trace_;
 };
 

@@ -4,6 +4,7 @@
 
 #include "src/common/hash.h"
 #include "src/objects/db_adapter.h"
+#include "src/objects/wire_format.h"
 
 namespace orochi {
 
@@ -47,12 +48,33 @@ ServerCore::ServerCore(const Application* app, const InitialState& init, ServerO
   registers_.Load(init.registers);
   kv_.Load(init.kv);
   db_ = init.db;
+  ResetReportsLocked();  // No contention in the constructor.
+}
+
+void ServerCore::ResetReportsLocked() {
+  reports_ = Reports{};
   if (options_.record_reports) {
     // Well-known object ids 0 (kv) and 1 (db); registers get ids on first use.
     reports_.objects.push_back({ObjectKind::kKv, ""});
     reports_.objects.push_back({ObjectKind::kDb, ""});
     reports_.op_logs.resize(2);
   }
+}
+
+Reports ServerCore::TakeReports() {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  Reports out = std::move(reports_);
+  ResetReportsLocked();
+  return out;
+}
+
+Status ServerCore::ExportReports(const std::string& path) {
+  std::lock_guard<std::mutex> lock(report_mu_);
+  if (Status st = ReportsWriter::WriteFile(path, reports_); !st.ok()) {
+    return st;
+  }
+  ResetReportsLocked();
+  return Status::Ok();
 }
 
 void ServerCore::AppendOpRecord(size_t object, OpRecord rec) {

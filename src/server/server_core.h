@@ -52,7 +52,14 @@ class ServerCore {
 
   // Reports accumulated so far. Call after draining (no concurrent HandleRequest).
   const Reports& reports() const { return reports_; }
-  Reports TakeReports() { return std::move(reports_); }
+  // Hands over the accumulated reports and leaves a fresh recording-ready set behind
+  // (object table re-seeded), so the server keeps serving the next epoch.
+  Reports TakeReports();
+
+  // Closes the current epoch on the report side: spills the accumulated reports to a
+  // wire-format file and, on success, resets them for the next epoch. Pairs with
+  // Collector::Flush; call after draining.
+  Status ExportReports(const std::string& path);
 
   // End-of-period object state: becomes the next audit's InitialState (§4.5).
   InitialState SnapshotState() const;
@@ -83,6 +90,8 @@ class ServerCore {
   void AppendOpRecord(size_t object, OpRecord rec);
   // Register path: object lookup/creation and the append under one report_mu_ hold.
   void AppendRegisterOp(const std::string& name, OpRecord rec);
+  // Re-seeds reports_ with the well-known kv/db objects. Caller holds report_mu_.
+  void ResetReportsLocked();
 
   const Application* app_;
   ServerOptions options_;

@@ -240,6 +240,24 @@ const std::vector<SqlRow>* Database::Rows(const std::string& table) const {
   return it == tables_.end() ? nullptr : &it->second.rows;
 }
 
+Status Database::LoadTable(const std::string& name, std::vector<ColumnDef> schema,
+                           std::vector<SqlRow> rows) {
+  if (tables_.count(name) > 0) {
+    return Status::Error("table '" + name + "' already exists");
+  }
+  for (const SqlRow& row : rows) {
+    if (row.size() != schema.size()) {
+      return Status::Error("table '" + name + "': row width " + std::to_string(row.size()) +
+                           " does not match schema width " + std::to_string(schema.size()));
+    }
+  }
+  Table t;
+  t.schema = std::move(schema);
+  t.rows = std::move(rows);
+  tables_.emplace(name, std::move(t));
+  return Status::Ok();
+}
+
 size_t Database::ApproximateBytes() const {
   size_t bytes = 0;
   for (const auto& [name, t] : tables_) {

@@ -37,6 +37,12 @@ class Database {
   // Raw row access (the verifier loads the initial snapshot into versioned storage).
   const std::vector<SqlRow>* Rows(const std::string& table) const;
 
+  // Installs a table wholesale (schema + rows), preserving row order exactly — the
+  // wire-format state loader uses this so a reloaded snapshot is bit-identical to the
+  // saved one. Rows must match the schema width; the table must not already exist.
+  Status LoadTable(const std::string& name, std::vector<ColumnDef> schema,
+                   std::vector<SqlRow> rows);
+
   // Approximate resident bytes (benchmark reporting: Figure 8 "DB overhead" columns).
   size_t ApproximateBytes() const;
 

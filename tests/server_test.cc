@@ -213,10 +213,10 @@ TEST(Reports, SizeAccountingDistinguishesBaseline) {
     w.items.push_back({"/counter/hit", {{"key", "k"}, {"who", "w"}}});
   }
   ServedWorkload served = ServeWorkload(w);
-  size_t full = served.reports.ApproximateBytes(false);
-  size_t nondet_only = served.reports.ApproximateBytes(true);
+  size_t full = served.reports.WireBytes(false);
+  size_t nondet_only = served.reports.WireBytes(true);
   EXPECT_GT(full, nondet_only);
-  EXPECT_GT(served.trace.ApproximateBytes(), 0u);
+  EXPECT_GT(served.trace.WireBytes(), 0u);
 }
 
 }  // namespace

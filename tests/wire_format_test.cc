@@ -1,0 +1,473 @@
+// Wire-format round-trips (Read(Write(x)) == x for traces, reports, and state
+// snapshots), exact-size accounting, and defensive rejection of corrupt or truncated
+// files — spill files cross a trust boundary, so the readers must never crash.
+#include "src/objects/wire_format.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/lang/value.h"
+#include "src/server/collector.h"
+
+namespace orochi {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/wire_" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+Trace SampleTrace() {
+  Trace t;
+  TraceEvent req;
+  req.kind = TraceEvent::Kind::kRequest;
+  req.rid = 7;
+  req.script = "/forum/view";
+  req.params = {{"topic", "3"}, {"user", "alice"}, {"empty", ""}};
+  t.events.push_back(req);
+  TraceEvent resp;
+  resp.kind = TraceEvent::Kind::kResponse;
+  resp.rid = 7;
+  resp.body = std::string("<html>\0binary\xff</html>", 22);
+  t.events.push_back(resp);
+  TraceEvent req2;
+  req2.kind = TraceEvent::Kind::kRequest;
+  req2.rid = 8;
+  req2.script = "/forum/index";
+  t.events.push_back(req2);
+  TraceEvent resp2;
+  resp2.kind = TraceEvent::Kind::kResponse;
+  resp2.rid = 8;
+  t.events.push_back(resp2);
+  return t;
+}
+
+Reports SampleReports() {
+  Reports r;
+  r.objects.push_back({ObjectKind::kKv, ""});
+  r.objects.push_back({ObjectKind::kDb, ""});
+  r.objects.push_back({ObjectKind::kRegister, "sess:alice"});
+  r.op_logs.resize(3);
+  r.op_logs[0].push_back({7, 1, StateOpType::kKvGet, "key1"});
+  r.op_logs[0].push_back({8, 1, StateOpType::kKvSet,
+                          MakeKvSetContents("key1", Value::Int(42))});
+  r.op_logs[1].push_back({7, 2, StateOpType::kDbOp,
+                          MakeDbContents({"SELECT * FROM posts"}, false, true)});
+  r.op_logs[2].push_back({8, 2, StateOpType::kRegisterWrite,
+                          MakeRegisterWriteContents(Value::Str("hi"))});
+  r.groups[11] = {7};
+  r.groups[12] = {8};
+  r.groups[13] = {};  // Empty group must survive the round-trip.
+  r.op_counts[7] = 2;
+  r.op_counts[8] = 2;
+  r.nondet[7] = {{"time", Value::Int(1500000000).Serialize()},
+                 {"rand", Value::Int(4).Serialize()}};
+  r.nondet[8] = {};  // Empty nondet list for a rid must survive too.
+  return r;
+}
+
+InitialState SampleState() {
+  InitialState s;
+  s.registers["sess:alice"] = Value::Str("logged-in");
+  s.registers["sess:bob"] = Value::Null();
+  s.kv["cache:index"] = Value::Int(-17);
+  s.kv["cache:pi"] = Value::Float(3.25);
+  Value arr = Value::Array();
+  arr.MutableArray().Append(Value::Str("x"));
+  arr.MutableArray().Set(ArrayKey(std::string("k")), Value::Bool(true));
+  s.kv["cache:arr"] = arr;
+  EXPECT_TRUE(
+      s.db.ExecuteText("CREATE TABLE posts (id INT, score FLOAT, body TEXT)").ok());
+  EXPECT_TRUE(
+      s.db.ExecuteText("INSERT INTO posts (id, score, body) VALUES (1, 0.5, 'hello')").ok());
+  EXPECT_TRUE(s.db.ExecuteText("CREATE TABLE empty_t (a INT)").ok());
+  return s;
+}
+
+bool TraceEq(const Trace& a, const Trace& b) {
+  if (a.events.size() != b.events.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.events.size(); i++) {
+    const TraceEvent& x = a.events[i];
+    const TraceEvent& y = b.events[i];
+    if (x.kind != y.kind || x.rid != y.rid || x.script != y.script ||
+        x.params != y.params || x.body != y.body) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(WireTrace, RoundTripAndExactSize) {
+  Trace t = SampleTrace();
+  std::string path = TempPath("trace_rt.bin");
+  ASSERT_TRUE(WriteTraceFile(path, t).ok());
+  EXPECT_EQ(ReadFileBytes(path).size(), t.WireBytes());
+
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_TRUE(TraceEq(t, back.value()));
+}
+
+TEST(WireTrace, EmptyTraceRoundTrips) {
+  std::string path = TempPath("trace_empty.bin");
+  ASSERT_TRUE(WriteTraceFile(path, Trace{}).ok());
+  EXPECT_EQ(ReadFileBytes(path).size(), Trace{}.WireBytes());
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_TRUE(back.value().events.empty());
+}
+
+TEST(WireTrace, StreamingReaderMatchesBulkReader) {
+  Trace t = SampleTrace();
+  std::string path = TempPath("trace_stream.bin");
+  ASSERT_TRUE(WriteTraceFile(path, t).ok());
+  TraceReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  Trace streamed;
+  while (true) {
+    TraceEvent e;
+    Result<bool> more = reader.Next(&e);
+    ASSERT_TRUE(more.ok()) << more.error();
+    if (!more.value()) {
+      break;
+    }
+    streamed.events.push_back(std::move(e));
+  }
+  EXPECT_TRUE(TraceEq(t, streamed));
+  // A clean end stays a clean end: probing again is not an error.
+  TraceEvent e;
+  Result<bool> again = reader.Next(&e);
+  ASSERT_TRUE(again.ok()) << again.error();
+  EXPECT_FALSE(again.value());
+}
+
+TEST(WireReports, RoundTripAndExactSize) {
+  Reports r = SampleReports();
+  std::string path = TempPath("reports_rt.bin");
+  ASSERT_TRUE(WriteReportsFile(path, r).ok());
+  EXPECT_EQ(ReadFileBytes(path).size(), r.WireBytes());
+
+  Result<Reports> back = ReadReportsFile(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  const Reports& b = back.value();
+  ASSERT_EQ(b.objects.size(), r.objects.size());
+  for (size_t i = 0; i < r.objects.size(); i++) {
+    EXPECT_TRUE(b.objects[i] == r.objects[i]) << i;
+  }
+  ASSERT_EQ(b.op_logs.size(), r.op_logs.size());
+  for (size_t i = 0; i < r.op_logs.size(); i++) {
+    ASSERT_EQ(b.op_logs[i].size(), r.op_logs[i].size()) << i;
+    for (size_t j = 0; j < r.op_logs[i].size(); j++) {
+      EXPECT_EQ(b.op_logs[i][j].rid, r.op_logs[i][j].rid);
+      EXPECT_EQ(b.op_logs[i][j].opnum, r.op_logs[i][j].opnum);
+      EXPECT_EQ(b.op_logs[i][j].type, r.op_logs[i][j].type);
+      EXPECT_EQ(b.op_logs[i][j].contents, r.op_logs[i][j].contents);
+    }
+  }
+  EXPECT_EQ(b.groups, r.groups);
+  EXPECT_EQ(b.op_counts, r.op_counts);
+  ASSERT_EQ(b.nondet.size(), r.nondet.size());
+  for (const auto& [rid, records] : r.nondet) {
+    ASSERT_TRUE(b.nondet.count(rid) > 0) << rid;
+    const auto& got = b.nondet.at(rid);
+    ASSERT_EQ(got.size(), records.size());
+    for (size_t i = 0; i < records.size(); i++) {
+      EXPECT_EQ(got[i].name, records[i].name);
+      EXPECT_EQ(got[i].value, records[i].value);
+    }
+  }
+}
+
+TEST(WireReports, NondetOnlySizeIsSmallerAndExact) {
+  Reports r = SampleReports();
+  size_t full = r.WireBytes(false);
+  size_t nd = r.WireBytes(true);
+  EXPECT_LT(nd, full);
+  // The nondet-only costing must match a file holding only the ND records.
+  Reports nd_only;
+  nd_only.nondet = r.nondet;
+  std::string path = TempPath("reports_nd.bin");
+  ASSERT_TRUE(WriteReportsFile(path, nd_only).ok());
+  // A full write of nd_only also carries the (empty) op-counts record; the nondet_only
+  // costing omits it, so it prices <= the file.
+  EXPECT_LE(nd, ReadFileBytes(path).size());
+}
+
+TEST(WireState, RoundTripAndExactSize) {
+  InitialState s = SampleState();
+  std::string path = TempPath("state_rt.bin");
+  ASSERT_TRUE(WriteInitialStateFile(path, s).ok());
+  EXPECT_EQ(ReadFileBytes(path).size(), InitialStateWireBytes(s));
+
+  Result<InitialState> back = ReadInitialStateFile(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(InitialStateFingerprint(back.value()), InitialStateFingerprint(s));
+  // Fingerprint covers register/kv names and DB rows; double-check value identity too.
+  EXPECT_TRUE(Value::DeepEquals(back.value().kv.at("cache:arr"), s.kv.at("cache:arr")));
+  EXPECT_TRUE(Value::DeepEquals(back.value().registers.at("sess:bob"), Value::Null()));
+  EXPECT_EQ(back.value().db.RowCount("posts"), 1u);
+  EXPECT_EQ(back.value().db.RowCount("empty_t"), 0u);
+}
+
+TEST(WireFormat, RejectsBadMagic) {
+  std::string path = TempPath("bad_magic.bin");
+  std::string bytes = "NOTOROCH" + std::string(16, '\0');
+  WriteFileBytes(path, bytes);
+  Result<Trace> t = ReadTraceFile(path);
+  ASSERT_FALSE(t.ok());
+  EXPECT_NE(t.error().find("bad magic"), std::string::npos) << t.error();
+}
+
+TEST(WireFormat, RejectsWrongVersion) {
+  Trace t = SampleTrace();
+  std::string path = TempPath("bad_version.bin");
+  ASSERT_TRUE(WriteTraceFile(path, t).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[8] = 99;  // Version field follows the 8-byte magic.
+  WriteFileBytes(path, bytes);
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("unsupported format version"), std::string::npos)
+      << back.error();
+}
+
+TEST(WireFormat, RejectsWrongSectionKind) {
+  std::string path = TempPath("wrong_section.bin");
+  ASSERT_TRUE(WriteTraceFile(path, SampleTrace()).ok());
+  Result<Reports> r = ReadReportsFile(path);  // A trace file is not a reports file.
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("section kind"), std::string::npos) << r.error();
+}
+
+TEST(WireFormat, RejectsTruncation) {
+  Reports r = SampleReports();
+  std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(WriteReportsFile(path, r).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Chop at many boundaries: header, mid-frame, mid-payload, before the end record.
+  for (size_t cut : {size_t{4}, size_t{13}, size_t{14}, size_t{20}, bytes.size() - 1}) {
+    ASSERT_LT(cut, bytes.size());
+    WriteFileBytes(path, bytes.substr(0, cut));
+    Result<Reports> back = ReadReportsFile(path);
+    EXPECT_FALSE(back.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(WireFormat, RejectsTrailingGarbage) {
+  std::string path = TempPath("trailing.bin");
+  ASSERT_TRUE(WriteTraceFile(path, SampleTrace()).ok());
+  std::string bytes = ReadFileBytes(path) + "garbage";
+  WriteFileBytes(path, bytes);
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("trailing bytes"), std::string::npos) << back.error();
+}
+
+TEST(WireFormat, RejectsOversizedRecordLength) {
+  std::string path = TempPath("oversized.bin");
+  ASSERT_TRUE(WriteTraceFile(path, SampleTrace()).ok());
+  std::string bytes = ReadFileBytes(path);
+  // First record frame starts right after the 13-byte header; blow up its length field.
+  for (int i = 0; i < 8; i++) {
+    bytes[13 + 1 + i] = static_cast<char>(0xff);
+  }
+  WriteFileBytes(path, bytes);
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("exceeds limit"), std::string::npos) << back.error();
+}
+
+TEST(WireFormat, RejectsUnknownRecordType) {
+  std::string path = TempPath("unknown_type.bin");
+  ASSERT_TRUE(WriteTraceFile(path, SampleTrace()).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[13] = 42;  // First record's type byte.
+  WriteFileBytes(path, bytes);
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("unknown trace record type"), std::string::npos)
+      << back.error();
+}
+
+// Hand-assembled envelope bytes for forged-file tests.
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; i++) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; i++) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+std::string Header(uint8_t section) {
+  std::string h = "OROCHIWF";
+  AppendU32(&h, 1);  // Format version.
+  h.push_back(static_cast<char>(section));
+  return h;
+}
+void AppendRecord(std::string* out, uint8_t type, const std::string& payload) {
+  out->push_back(static_cast<char>(type));
+  AppendU64(out, payload.size());
+  out->append(payload);
+}
+
+// A forged element count far beyond the payload must reject, not feed vector::reserve
+// (which would throw length_error in an exception-free codebase and abort the verifier).
+TEST(WireFormat, RejectsForgedHugeOpLogCount) {
+  std::string bytes = Header(2);  // Reports section.
+  std::string object;             // ObjectKind::kKv + empty name.
+  object.push_back(1);
+  AppendU32(&object, 0);
+  AppendRecord(&bytes, 1, object);
+  std::string oplog;  // Object id 0 claiming 2^62 op records in a 12-byte payload.
+  AppendU32(&oplog, 0);
+  AppendU64(&oplog, 1ull << 62);
+  AppendRecord(&bytes, 2, oplog);
+  AppendRecord(&bytes, 0, "");
+  std::string path = TempPath("forged_oplog_count.bin");
+  WriteFileBytes(path, bytes);
+  Result<Reports> back = ReadReportsFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("exceeds payload"), std::string::npos) << back.error();
+}
+
+// ncols = 0 with nrows > 0 would let the row loop spin without consuming payload.
+TEST(WireFormat, RejectsZeroWidthTableWithRows) {
+  std::string bytes = Header(3);  // State section.
+  std::string table;
+  AppendU32(&table, 1);
+  table += "t";
+  AppendU32(&table, 0);           // ncols = 0.
+  AppendU64(&table, 1ull << 40);  // nrows.
+  AppendRecord(&bytes, 3, table);
+  AppendRecord(&bytes, 0, "");
+  std::string path = TempPath("forged_zero_width.bin");
+  WriteFileBytes(path, bytes);
+  Result<InitialState> back = ReadInitialStateFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("exceeds payload"), std::string::npos) << back.error();
+}
+
+// The writer emits exactly one op-counts record; a second one must reject.
+TEST(WireFormat, RejectsDuplicateOpCountsRecords) {
+  std::string bytes = Header(2);
+  std::string counts;
+  AppendU64(&counts, 0);
+  AppendRecord(&bytes, 4, counts);
+  AppendRecord(&bytes, 4, counts);
+  AppendRecord(&bytes, 0, "");
+  std::string path = TempPath("dup_op_counts.bin");
+  WriteFileBytes(path, bytes);
+  Result<Reports> back = ReadReportsFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("duplicate op-counts"), std::string::npos) << back.error();
+}
+
+// An AppendReports error must leave dst untouched (no half-merged epochs).
+TEST(WireReports, AppendReportsIsAtomicOnRidCollision) {
+  Reports dst = SampleReports();
+  size_t objects_before = dst.objects.size();
+  size_t log0_before = dst.op_logs[0].size();
+  size_t groups_before = dst.groups.size();
+  Reports src;
+  src.objects.push_back({ObjectKind::kKv, ""});
+  src.op_logs.resize(1);
+  src.op_logs[0].push_back({7, 1, StateOpType::kKvGet, "x"});
+  src.groups[99] = {7};
+  src.op_counts[7] = 1;  // Collides with dst's rid 7.
+  Status st = AppendReports(&dst, src);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(dst.objects.size(), objects_before);
+  EXPECT_EQ(dst.op_logs[0].size(), log0_before);
+  EXPECT_EQ(dst.groups.size(), groups_before);
+  EXPECT_EQ(dst.groups.count(99), 0u);
+}
+
+TEST(WireFormat, RejectsMissingFile) {
+  Result<Trace> t = ReadTraceFile(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(t.ok());
+  Result<InitialState> s = ReadInitialStateFile(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(WireReports, RejectsOpLogForUnknownObject) {
+  Reports r;
+  r.objects.push_back({ObjectKind::kKv, ""});
+  r.op_logs.resize(1);
+  r.op_logs[0].push_back({1, 1, StateOpType::kKvGet, "k"});
+  std::string path = TempPath("bad_objid.bin");
+  ASSERT_TRUE(WriteReportsFile(path, r).ok());
+  std::string bytes = ReadFileBytes(path);
+  // The op-log record's object-id field is the first u32 of the kRecOpLog payload.
+  // Object record: 9-byte frame + 1 (kind) + 4 (name len) = 14 bytes after the header.
+  size_t oplog_payload = 13 + 9 + 5 + 9;
+  bytes[oplog_payload] = 7;  // Object id 7 does not exist.
+  WriteFileBytes(path, bytes);
+  Result<Reports> back = ReadReportsFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("unknown object id"), std::string::npos) << back.error();
+}
+
+// Drive Collector::Flush through record → flush → record → flush: each epoch's spill file
+// decodes independently and holds only its own epoch's events.
+TEST(WireTrace, CollectorFlushWritesAndResets) {
+  Collector collector;
+  collector.RecordRequest(1, "/a", {{"k", "v"}});
+  collector.RecordResponse(1, "body1");
+  std::string epoch1 = TempPath("flush_epoch1.bin");
+  ASSERT_TRUE(collector.Flush(epoch1).ok());
+  EXPECT_TRUE(collector.trace().events.empty());
+
+  collector.RecordRequest(2, "/b", {});
+  collector.RecordResponse(2, "body2");
+  std::string epoch2 = TempPath("flush_epoch2.bin");
+  ASSERT_TRUE(collector.Flush(epoch2).ok());
+
+  Result<Trace> t1 = ReadTraceFile(epoch1);
+  Result<Trace> t2 = ReadTraceFile(epoch2);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_EQ(t1.value().events.size(), 2u);
+  ASSERT_EQ(t2.value().events.size(), 2u);
+  EXPECT_EQ(t1.value().events[0].rid, 1u);
+  EXPECT_EQ(t2.value().events[0].rid, 2u);
+  EXPECT_EQ(t2.value().events[1].body, "body2");
+}
+
+// TakeTrace must leave a valid, recordable trace behind (the PR's Collector race fix).
+TEST(WireTrace, TakeTraceLeavesEmptyValidTrace) {
+  Collector collector;
+  collector.RecordRequest(1, "/a", {});
+  collector.RecordResponse(1, "x");
+  Trace first = collector.TakeTrace();
+  EXPECT_EQ(first.events.size(), 2u);
+  EXPECT_TRUE(collector.trace().events.empty());
+  collector.RecordRequest(2, "/b", {});
+  EXPECT_EQ(collector.trace().events.size(), 1u);
+}
+
+}  // namespace
+}  // namespace orochi
