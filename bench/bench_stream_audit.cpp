@@ -1,0 +1,219 @@
+// Streamed vs. in-memory epoch audit: wall time and memory for the forum/wiki/conf
+// workloads, emitted as BENCH_stream_audit.json so the out-of-core path's overhead and
+// memory ceiling are tracked PR over PR.
+//
+// Per workload the harness serves one epoch, spills it to wire-format files, then audits
+// the files twice: streamed (trace payloads paged in under a budget, peak residency
+// reported by the ChunkBudget) and fully in-memory. The streamed audit runs FIRST because
+// ru_maxrss is a process-lifetime high-water mark — ordering it first means the reported
+// streamed RSS was not inflated by the in-memory trace materialization. Correctness
+// cross-checks ride along: both paths must accept and agree on the final state.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/audit_session.h"
+#include "src/objects/wire_format.h"
+#include "src/stream/stream_audit.h"
+
+namespace orochi {
+namespace {
+
+// Default streamed-audit budget; OROCHI_AUDIT_BUDGET overrides.
+constexpr size_t kDefaultBudget = 256 * 1024;
+
+// The real loader plus a high-water mark of the largest single chunk, for the budget
+// check: a chunk bigger than the whole budget is legitimately admitted alone (the
+// oversized-chunk path), so the invariant is peak <= max(budget, largest chunk).
+class ChunkSizeProbe : public FileTraceChunkLoader {
+ public:
+  using FileTraceChunkLoader::FileTraceChunkLoader;
+
+  void OnChunkResident(uint64_t bytes) override {
+    uint64_t cur = largest_.load(std::memory_order_relaxed);
+    while (bytes > cur &&
+           !largest_.compare_exchange_weak(cur, bytes, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t largest_chunk_bytes() const { return largest_.load(); }
+
+ private:
+  std::atomic<uint64_t> largest_{0};
+};
+
+long PeakRssKb() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux; monotone over the process lifetime.
+}
+
+struct Row {
+  std::string workload;
+  size_t requests = 0;
+  size_t trace_file_bytes = 0;
+  size_t request_payload_bytes = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t peak_resident_bytes = 0;  // ChunkBudget high-water mark (streamed only).
+  uint64_t largest_chunk_bytes = 0;
+  double streamed_seconds = 0;
+  double in_memory_seconds = 0;
+  long rss_after_streamed_kb = 0;
+  long rss_after_in_memory_kb = 0;
+  bool accepted = false;
+  bool states_match = false;
+};
+
+Row RunOne(const char* name, const Workload& w, const std::string& dir) {
+  Row row;
+  row.workload = name;
+  row.requests = w.items.size();
+  ServedRun served = ServeForBench(w, /*record=*/true);
+  const std::string trace_path = dir + "/" + row.workload + "_trace.bin";
+  const std::string reports_path = dir + "/" + row.workload + "_reports.bin";
+  if (!WriteTraceFile(trace_path, served.trace).ok() ||
+      !WriteReportsFile(reports_path, served.reports).ok()) {
+    std::fprintf(stderr, "%s: spill failed\n", name);
+    return row;
+  }
+  row.trace_file_bytes = served.trace.WireBytes();
+  // Shed the in-memory copies: the point of the comparison is what each *audit* keeps
+  // resident, not what the serving harness did.
+  served.trace = Trace{};
+  served.reports = Reports{};
+
+  AuditOptions options;
+  if (std::getenv("OROCHI_AUDIT_BUDGET") == nullptr) {
+    options.max_resident_bytes = kDefaultBudget;
+  }
+  // Chunks well under the budget, so the peak-residency check below is exact (a chunk
+  // larger than the whole budget would legitimately overshoot via the oversized path).
+  options.max_group_size = 512;
+
+  StreamTraceSet loader_set;
+  if (Result<uint32_t> r = loader_set.AppendFile(trace_path); !r.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name, r.error().c_str());
+    return row;
+  }
+  row.request_payload_bytes = loader_set.total_request_payload_bytes();
+  ChunkSizeProbe loader(&loader_set);
+  ChunkBudget budget(ResolveAuditBudget(options));
+  row.budget_bytes = budget.max_bytes();
+  StreamAuditHooks hooks;
+  hooks.budget = &budget;
+  hooks.loader = &loader;
+  AuditSession streamed = AuditSession::Open(&w.app, options, w.initial);
+  WallTimer stream_wall;
+  Result<AuditResult> streamed_result =
+      streamed.FeedEpochFilesStreamed(trace_path, reports_path, &hooks);
+  row.streamed_seconds = stream_wall.Seconds();
+  row.peak_resident_bytes = budget.peak_bytes();
+  row.largest_chunk_bytes = loader.largest_chunk_bytes();
+  row.rss_after_streamed_kb = PeakRssKb();
+  if (!streamed_result.ok() || !streamed_result.value().accepted) {
+    std::fprintf(stderr, "%s streamed REJECTED/errored: %s\n", name,
+                 streamed_result.ok() ? streamed_result.value().reason.c_str()
+                                      : streamed_result.error().c_str());
+    return row;
+  }
+
+  AuditSession in_memory = AuditSession::Open(&w.app, options, w.initial);
+  WallTimer mem_wall;
+  Result<AuditResult> memory_result = in_memory.FeedEpochFiles(trace_path, reports_path);
+  row.in_memory_seconds = mem_wall.Seconds();
+  row.rss_after_in_memory_kb = PeakRssKb();
+  if (!memory_result.ok() || !memory_result.value().accepted) {
+    std::fprintf(stderr, "%s in-memory REJECTED/errored\n", name);
+    return row;
+  }
+  row.accepted = true;
+  row.states_match = InitialStateFingerprint(streamed_result.value().final_state) ==
+                     InitialStateFingerprint(memory_result.value().final_state);
+  std::fprintf(stderr,
+               "  %-6s streamed=%.3fs in_memory=%.3fs peak_resident=%llu/%llu bytes "
+               "(%zu on disk) %s\n",
+               name, row.streamed_seconds, row.in_memory_seconds,
+               static_cast<unsigned long long>(row.peak_resident_bytes),
+               static_cast<unsigned long long>(row.budget_bytes),
+               row.request_payload_bytes, row.states_match ? "MATCH" : "DIVERGED");
+  return row;
+}
+
+void EmitJson(const std::vector<Row>& rows) {
+  FILE* f = std::fopen("BENCH_stream_audit.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_stream_audit.json");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"stream_audit\",\n  \"scale\": %.3f,\n  \"rows\": [\n",
+               BenchScale());
+  for (size_t i = 0; i < rows.size(); i++) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"requests\": %zu, \"trace_file_bytes\": %zu,\n"
+        "     \"request_payload_bytes\": %zu, \"budget_bytes\": %llu,\n"
+        "     \"peak_resident_trace_bytes\": %llu, \"largest_chunk_bytes\": %llu,\n"
+        "     \"streamed_seconds\": %.6f,\n"
+        "     \"in_memory_seconds\": %.6f, \"streamed_over_in_memory\": %.3f,\n"
+        "     \"peak_rss_after_streamed_kb\": %ld, \"peak_rss_after_in_memory_kb\": %ld,\n"
+        "     \"accepted\": %s, \"states_match\": %s}%s\n",
+        r.workload.c_str(), r.requests, r.trace_file_bytes, r.request_payload_bytes,
+        static_cast<unsigned long long>(r.budget_bytes),
+        static_cast<unsigned long long>(r.peak_resident_bytes),
+        static_cast<unsigned long long>(r.largest_chunk_bytes), r.streamed_seconds,
+        r.in_memory_seconds,
+        r.in_memory_seconds > 0 ? r.streamed_seconds / r.in_memory_seconds : 0.0,
+        r.rss_after_streamed_kb, r.rss_after_in_memory_kb, r.accepted ? "true" : "false",
+        r.states_match ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace orochi
+
+int main() {
+  using namespace orochi;
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = (tmp != nullptr ? std::string(tmp) : std::string("/tmp")) +
+                    "/orochi_bench_stream_audit";
+  if (std::system(("mkdir -p " + dir).c_str()) != 0) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "stream audit bench (OROCHI_BENCH_SCALE=%.3f)\n", BenchScale());
+  std::vector<Row> rows;
+  rows.push_back(RunOne("forum", BenchForum(), dir));
+  rows.push_back(RunOne("wiki", BenchWiki(), dir));
+  rows.push_back(RunOne("conf", BenchConf(), dir));
+  EmitJson(rows);
+  std::fprintf(stderr, "wrote BENCH_stream_audit.json\n");
+  for (const Row& r : rows) {
+    // `accepted` distinguishes "a stage failed outright" (spill error, reject, file
+    // error — already reported by RunOne) from a completed run whose states diverged.
+    if (!r.accepted) {
+      std::fprintf(stderr, "ERROR: %s did not complete both audits\n", r.workload.c_str());
+      return 1;
+    }
+    if (!r.states_match) {
+      std::fprintf(stderr, "ERROR: %s diverged between streamed and in-memory audits\n",
+                   r.workload.c_str());
+      return 1;
+    }
+    // A single chunk larger than the whole budget is admitted alone (the oversized-chunk
+    // path), so the enforceable ceiling is max(budget, largest chunk).
+    uint64_t ceiling = std::max(r.budget_bytes, r.largest_chunk_bytes);
+    if (r.budget_bytes > 0 && r.peak_resident_bytes > ceiling) {
+      std::fprintf(stderr, "ERROR: %s exceeded the resident-byte budget\n",
+                   r.workload.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

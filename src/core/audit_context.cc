@@ -513,19 +513,25 @@ void AuditContext::SetOutput(RequestId rid, std::string body) {
   it->second.body = std::move(body);
 }
 
+std::string AuditContext::CheckResponseOutput(RequestId rid, const std::string& body) const {
+  auto it = outputs_.find(rid);
+  if (it == outputs_.end() || !it->second.produced) {
+    return "output: rid " + std::to_string(rid) + " was never re-executed";
+  }
+  if (it->second.body != body) {
+    return "output: rid " + std::to_string(rid) + " response does not match re-execution";
+  }
+  return std::string();
+}
+
 Status AuditContext::CompareOutputs() {
   ScopedAccumulator t(&stats_.other_seconds);
   for (const TraceEvent& e : trace_->events) {
     if (e.kind != TraceEvent::Kind::kResponse) {
       continue;
     }
-    auto it = outputs_.find(e.rid);
-    if (it == outputs_.end() || !it->second.produced) {
-      return Status::Error("output: rid " + std::to_string(e.rid) + " was never re-executed");
-    }
-    if (it->second.body != e.body) {
-      return Status::Error("output: rid " + std::to_string(e.rid) +
-                           " response does not match re-execution");
+    if (std::string reason = CheckResponseOutput(e.rid, e.body); !reason.empty()) {
+      return Status::Error(reason);
     }
   }
   return Status::Ok();

@@ -38,6 +38,12 @@ struct AuditOptions {
   // Worker threads for grouped re-execution. 0 = auto: OROCHI_AUDIT_THREADS when set,
   // else std::thread::hardware_concurrency().
   size_t num_threads = 0;
+  // Memory budget (bytes) for trace payloads resident during an out-of-core streaming
+  // audit (AuditSession::FeedEpochFilesStreamed / FeedShardedEpoch): workers block until
+  // their chunk fits, and a single chunk larger than the whole budget is admitted only
+  // while nothing else is resident. 0 = auto: OROCHI_AUDIT_BUDGET when set, else
+  // unlimited. Ignored by the in-memory path.
+  size_t max_resident_bytes = 0;
   InterpreterOptions interp;
 };
 
@@ -125,6 +131,12 @@ class AuditContext {
   void SetOutput(RequestId rid, std::string body);
   // Compares produced outputs against the trace's responses (the final accept check).
   Status CompareOutputs();
+  // Verdict for one traced response against the produced outputs; empty = match. The
+  // single source of both rejection reasons ("never re-executed" / mismatch):
+  // CompareOutputs walks the in-memory trace with it, and the out-of-core comparer calls
+  // it per re-streamed response body (the skeleton trace holds no bodies), so the two
+  // paths cannot drift apart.
+  std::string CheckResponseOutput(RequestId rid, const std::string& body) const;
 
   // The end-of-period object state implied by the logs (kept as the next InitialState).
   InitialState ExtractFinalState() const;

@@ -1,0 +1,168 @@
+#include "src/core/audit_plan.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_set>
+#include <utility>
+
+#include "src/common/timer.h"
+#include "src/common/work_steal_pool.h"
+#include "src/core/auditor.h"
+#include "src/core/reexec.h"
+
+namespace orochi {
+
+AuditPlan PlanAuditTasks(AuditContext* ctx, const Reports& reports, const Application* app,
+                         const AuditOptions& options) {
+  AuditPlan plan;
+  size_t order = 0;
+  std::unordered_set<RequestId> claimed;
+  for (const auto& [tag, rids] : reports.groups) {
+    (void)tag;
+    if (rids.empty()) {
+      continue;
+    }
+    ctx->stats().num_groups++;
+    if (rids.size() > 1) {
+      ctx->stats().groups_multi++;
+    }
+    const size_t group_order = order++;
+    // All requests in a group must exist and target the same script.
+    const TraceEvent* first = ctx->RequestEvent(rids[0]);
+    if (first == nullptr) {
+      plan.fail_order = group_order;
+      plan.fail_reason = "group contains rid " + std::to_string(rids[0]) + " not in the trace";
+      break;
+    }
+    bool group_ok = true;
+    for (RequestId rid : rids) {
+      const TraceEvent* req = ctx->RequestEvent(rid);
+      if (req == nullptr || req->script != first->script) {
+        plan.fail_order = group_order;
+        plan.fail_reason = "group mixes scripts or names an untraced rid";
+        group_ok = false;
+        break;
+      }
+    }
+    if (!group_ok) {
+      break;
+    }
+    const Program* prog = app->GetScript(first->script);
+    if (prog == nullptr) {
+      for (RequestId rid : rids) {
+        if (ctx->OpCount(rid) != 0) {
+          plan.fail_order = group_order;
+          plan.fail_reason = "rid " + std::to_string(rid) +
+                             " targets an unknown script but claims operations";
+          group_ok = false;
+          break;
+        }
+        ctx->SetOutput(rid, kNoSuchScriptBody);
+      }
+      if (!group_ok) {
+        break;
+      }
+      continue;
+    }
+    for (size_t start = 0; start < rids.size(); start += options.max_group_size) {
+      size_t end = std::min(rids.size(), start + options.max_group_size);
+      AuditTask task;
+      task.order = order++;
+      task.prog = prog;
+      task.rids.assign(rids.begin() + static_cast<ptrdiff_t>(start),
+                       rids.begin() + static_cast<ptrdiff_t>(end));
+      for (RequestId rid : task.rids) {
+        task.cost += 1 + ctx->OpCount(rid);
+        task.serial = task.serial || !claimed.insert(rid).second;
+      }
+      plan.tasks.push_back(std::move(task));
+    }
+  }
+  return plan;
+}
+
+AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
+                                  const AuditOptions& options, const AuditPlan& plan,
+                                  AuditTaskGate* gate) {
+  const std::vector<AuditTask>& tasks = plan.tasks;
+  // Each task accumulates into its own stats block; blocks merge in walk order afterwards,
+  // so merged stats (group_stats in particular) are independent of scheduling.
+  std::vector<AuditStats> task_stats(tasks.size());
+  std::vector<std::string> task_error(tasks.size());
+  std::vector<uint8_t> task_gate_failed(tasks.size(), 0);
+  std::atomic<size_t> first_fail{plan.fail_order};
+  {
+    ScopedAccumulator t(&ctx->stats().reexec_seconds);
+    auto record_failure = [&](size_t task_order) {
+      size_t cur = first_fail.load(std::memory_order_relaxed);
+      while (task_order < cur &&
+             !first_fail.compare_exchange_weak(cur, task_order, std::memory_order_relaxed)) {
+      }
+    };
+    auto run_task = [&](size_t i) {
+      const AuditTask& task = tasks[i];
+      if (task.order > first_fail.load(std::memory_order_relaxed)) {
+        return;  // A strictly earlier failure already decided the verdict.
+      }
+      if (gate != nullptr) {
+        if (Status st = gate->Acquire(task); !st.ok()) {
+          task_error[i] = st.error();
+          task_gate_failed[i] = 1;
+          record_failure(task.order);
+          return;
+        }
+      }
+      AuditWorkerState ws(&task_stats[i]);
+      if (Status st = RunGroupChunk(app, options.interp, ctx, task.prog, task.rids, &ws);
+          !st.ok()) {
+        task_error[i] = st.error();
+        record_failure(task.order);
+      }
+      if (gate != nullptr) {
+        gate->Release(task);
+      }
+    };
+
+    std::vector<size_t> pool_tasks;
+    std::vector<size_t> serial_tasks;
+    for (size_t i = 0; i < tasks.size(); i++) {
+      (tasks[i].serial ? serial_tasks : pool_tasks).push_back(i);
+    }
+    const size_t num_threads = ResolveAuditThreads(options);
+    if (num_threads <= 1 || pool_tasks.size() <= 1) {
+      for (size_t i : pool_tasks) {
+        run_task(i);
+      }
+    } else {
+      // Costliest chunk first to minimize makespan (cost = requests + total reported
+      // op-length; see AuditTask::cost). Scheduling order never affects the verdict.
+      std::stable_sort(pool_tasks.begin(), pool_tasks.end(), [&](size_t a, size_t b) {
+        return tasks[a].cost > tasks[b].cost;
+      });
+      WorkStealPool(std::min(num_threads, pool_tasks.size())).Run(pool_tasks, run_task);
+    }
+    for (size_t i : serial_tasks) {
+      run_task(i);
+    }
+  }
+  for (const AuditStats& s : task_stats) {
+    ctx->stats().MergeFrom(s);
+  }
+
+  AuditExecOutcome out;
+  out.fail_order = first_fail.load(std::memory_order_relaxed);
+  if (out.fail_order == kNoAuditFailure) {
+    return out;
+  }
+  out.fail_reason = plan.fail_reason;
+  for (size_t i = 0; i < tasks.size(); i++) {
+    if (tasks[i].order == out.fail_order) {
+      out.fail_reason = task_error[i];
+      out.gate_failed = task_gate_failed[i] != 0;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace orochi

@@ -1,0 +1,89 @@
+// The grouped SSCO audit engine shared by the in-memory and out-of-core paths: planning
+// (walk the reported groups in order, validate them, cut them into chunk tasks) and
+// parallel execution (dispatch chunks costliest-first over a work-stealing pool with the
+// deterministic smallest-position-failure-wins rejection rule).
+//
+// Both `AuditSession::FeedEpoch` and the streaming audit (src/stream/) drive exactly this
+// code, which is what makes their verdict, rejection reason, and final_state bit-identical
+// by construction: the only difference between the two paths is the AuditTaskGate an
+// out-of-core caller installs to page a task's trace payloads in and out around its run.
+#ifndef SRC_CORE_AUDIT_PLAN_H_
+#define SRC_CORE_AUDIT_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/audit_context.h"
+
+namespace orochi {
+
+// One unit of parallel audit work: a chunk of a control-flow group. `order` is the chunk's
+// position in the sequential group walk (group validation consumes a position too), which
+// is the tiebreak that makes rejection deterministic across thread counts.
+struct AuditTask {
+  size_t order = 0;
+  const Program* prog = nullptr;
+  std::vector<RequestId> rids;
+  // Scheduling cost estimate: requests plus the total reported op-length of the chunk
+  // (Σ 1 + M(rid)). Group length is unknown until executed; op count is the best static
+  // proxy for how much simulate-and-check work the chunk carries, and weighting it beats
+  // request count alone when scripts differ wildly in state-op density.
+  uint64_t cost = 0;
+  // True when this chunk shares a rid with an earlier task (possible only for adversarial
+  // reports that list a rid in several groups). Such chunks run serially after the pool
+  // joins, so two workers never touch the same rid's cursor or output slot concurrently.
+  bool serial = false;
+};
+
+inline constexpr size_t kNoAuditFailure = SIZE_MAX;
+
+struct AuditPlan {
+  std::vector<AuditTask> tasks;
+  // Planning-time validation failure (kNoAuditFailure when the walk completed): the walk
+  // position at which sequential execution would have reported it. Planning stops there —
+  // no later event can win the min-order race — but earlier tasks still run, since one of
+  // them may fail at a strictly smaller position.
+  size_t fail_order = kNoAuditFailure;
+  std::string fail_reason;
+};
+
+// Walks reports.groups in order against a prepared context: validates each group (every
+// rid traced, one script per group), resolves the script, handles unknown-script groups
+// (outputs set at plan time when legal), and cuts runnable groups into max_group_size
+// chunks. Mutates ctx stats (num_groups / groups_multi) exactly as the sequential walk
+// would.
+AuditPlan PlanAuditTasks(AuditContext* ctx, const Reports& reports, const Application* app,
+                         const AuditOptions& options);
+
+// Hook bracketing each task's execution, for out-of-core callers: Acquire runs on the
+// worker thread immediately before the task's re-execution (page in the chunk's trace
+// payloads, blocking on the memory budget), Release immediately after it retires (evict).
+// Acquire and Release calls for one task always pair on the same thread; tasks skipped
+// because a strictly earlier failure already decided the verdict get neither call.
+class AuditTaskGate {
+ public:
+  virtual ~AuditTaskGate() = default;
+  virtual Status Acquire(const AuditTask& task) = 0;
+  virtual void Release(const AuditTask& task) = 0;
+};
+
+struct AuditExecOutcome {
+  size_t fail_order = kNoAuditFailure;  // kNoAuditFailure: every task succeeded.
+  std::string fail_reason;
+  // True when the winning failure came from the gate (an I/O problem paging the chunk in),
+  // which callers surface as a file-level error rather than an audit REJECT.
+  bool gate_failed = false;
+};
+
+// Runs the plan's tasks: parallel chunks costliest-first over a work-stealing pool of
+// ResolveAuditThreads(options) workers, then the serial chunks in order. Per-task stats
+// merge into ctx->stats() in walk order, so merged statistics are schedule-independent.
+// The returned failure is the plan's failure, a task failure, or a gate failure —
+// whichever claims the smallest walk position.
+AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
+                                  const AuditOptions& options, const AuditPlan& plan,
+                                  AuditTaskGate* gate = nullptr);
+
+}  // namespace orochi
+
+#endif  // SRC_CORE_AUDIT_PLAN_H_

@@ -1,35 +1,11 @@
 #include "src/core/audit_session.h"
 
-#include <algorithm>
-#include <atomic>
-#include <unordered_set>
-#include <vector>
+#include <utility>
 
-#include "src/common/timer.h"
-#include "src/common/work_steal_pool.h"
-#include "src/core/reexec.h"
+#include "src/core/audit_plan.h"
 #include "src/objects/wire_format.h"
 
 namespace orochi {
-
-namespace {
-
-// One unit of parallel audit work: a chunk of a control-flow group. `order` is the chunk's
-// position in the sequential group walk (group validation consumes a position too), which
-// is the tiebreak that makes rejection deterministic across thread counts.
-struct AuditTask {
-  size_t order = 0;
-  const Program* prog = nullptr;
-  std::vector<RequestId> rids;
-  // True when this chunk shares a rid with an earlier task (possible only for adversarial
-  // reports that list a rid in several groups). Such chunks run serially after the pool
-  // joins, so two workers never touch the same rid's cursor or output slot concurrently.
-  bool serial = false;
-};
-
-constexpr size_t kNoFailure = SIZE_MAX;
-
-}  // namespace
 
 AuditSession::AuditSession(const Application* app, AuditOptions options, InitialState initial)
     : app_(app), options_(std::move(options)), state_(std::move(initial)) {}
@@ -61,10 +37,20 @@ Result<AuditResult> AuditSession::FeedEpochFiles(const std::string& trace_path,
   return FeedEpoch(trace.value(), reports.value());
 }
 
+void AuditSession::CommitAccepted(AuditContext* ctx, AuditResult* out) {
+  out->accepted = true;
+  out->final_state = ctx->ExtractFinalState();
+  out->stats = ctx->stats();
+  epochs_accepted_++;
+  state_ = out->final_state;  // The accepted epoch seeds the next epoch's audit (§4.5).
+}
+
 // The grouped SSCO audit engine (paper Figures 3 and 12): balanced-trace check,
 // consistent-ordering verification and versioned-storage builds (AuditContext::Prepare),
 // grouped SIMD-on-demand re-execution over a work-stealing pool, then the produced-output
-// vs. trace comparison. On ACCEPT, final_state chains into the next FeedEpoch call.
+// vs. trace comparison. Planning and execution live in src/core/audit_plan.{h,cc}, shared
+// with the out-of-core streaming path so both are deterministic in lockstep. On ACCEPT,
+// final_state chains into the next FeedEpoch call.
 AuditResult AuditSession::FeedEpoch(const Trace& trace, const Reports& reports) {
   epochs_fed_++;
   AuditResult out;
@@ -75,134 +61,10 @@ AuditResult AuditSession::FeedEpoch(const Trace& trace, const Reports& reports) 
     return out;
   }
 
-  // --- Plan: walk groups in report order, validate them, and cut them into chunk tasks.
-  // Validation errors claim the walk position at which sequential execution would have
-  // reported them; planning stops there since no later event can win the min-order race.
-  std::vector<AuditTask> tasks;
-  size_t order = 0;
-  size_t plan_fail_order = kNoFailure;
-  std::string plan_fail_reason;
-  std::unordered_set<RequestId> claimed;
-  for (const auto& [tag, rids] : reports.groups) {
-    (void)tag;
-    if (rids.empty()) {
-      continue;
-    }
-    ctx.stats().num_groups++;
-    if (rids.size() > 1) {
-      ctx.stats().groups_multi++;
-    }
-    const size_t group_order = order++;
-    // All requests in a group must exist and target the same script.
-    const TraceEvent* first = ctx.RequestEvent(rids[0]);
-    if (first == nullptr) {
-      plan_fail_order = group_order;
-      plan_fail_reason = "group contains rid " + std::to_string(rids[0]) + " not in the trace";
-      break;
-    }
-    bool group_ok = true;
-    for (RequestId rid : rids) {
-      const TraceEvent* req = ctx.RequestEvent(rid);
-      if (req == nullptr || req->script != first->script) {
-        plan_fail_order = group_order;
-        plan_fail_reason = "group mixes scripts or names an untraced rid";
-        group_ok = false;
-        break;
-      }
-    }
-    if (!group_ok) {
-      break;
-    }
-    const Program* prog = app_->GetScript(first->script);
-    if (prog == nullptr) {
-      for (RequestId rid : rids) {
-        if (ctx.OpCount(rid) != 0) {
-          plan_fail_order = group_order;
-          plan_fail_reason = "rid " + std::to_string(rid) +
-                             " targets an unknown script but claims operations";
-          group_ok = false;
-          break;
-        }
-        ctx.SetOutput(rid, kNoSuchScriptBody);
-      }
-      if (!group_ok) {
-        break;
-      }
-      continue;
-    }
-    for (size_t start = 0; start < rids.size(); start += options_.max_group_size) {
-      size_t end = std::min(rids.size(), start + options_.max_group_size);
-      AuditTask task;
-      task.order = order++;
-      task.prog = prog;
-      task.rids.assign(rids.begin() + static_cast<ptrdiff_t>(start),
-                       rids.begin() + static_cast<ptrdiff_t>(end));
-      for (RequestId rid : task.rids) {
-        task.serial = task.serial || !claimed.insert(rid).second;
-      }
-      tasks.push_back(std::move(task));
-    }
-  }
-
-  // --- Execute: chunks run on a work-stealing pool, largest-first to minimize makespan.
-  // Each task accumulates into its own stats block; blocks merge in walk order afterwards,
-  // so merged stats (group_stats in particular) are independent of scheduling.
-  std::vector<AuditStats> task_stats(tasks.size());
-  std::vector<std::string> task_error(tasks.size());
-  std::atomic<size_t> first_fail{plan_fail_order};
-  {
-    ScopedAccumulator t(&ctx.stats().reexec_seconds);
-    auto run_task = [&](size_t i) {
-      const AuditTask& task = tasks[i];
-      if (task.order > first_fail.load(std::memory_order_relaxed)) {
-        return;  // A strictly earlier failure already decided the verdict.
-      }
-      AuditWorkerState ws(&task_stats[i]);
-      if (Status st = RunGroupChunk(app_, options_.interp, &ctx, task.prog, task.rids, &ws);
-          !st.ok()) {
-        task_error[i] = st.error();
-        size_t cur = first_fail.load(std::memory_order_relaxed);
-        while (task.order < cur &&
-               !first_fail.compare_exchange_weak(cur, task.order, std::memory_order_relaxed)) {
-        }
-      }
-    };
-
-    std::vector<size_t> pool_tasks;
-    std::vector<size_t> serial_tasks;
-    for (size_t i = 0; i < tasks.size(); i++) {
-      (tasks[i].serial ? serial_tasks : pool_tasks).push_back(i);
-    }
-    const size_t num_threads = ResolveAuditThreads(options_);
-    if (num_threads <= 1 || pool_tasks.size() <= 1) {
-      for (size_t i : pool_tasks) {
-        run_task(i);
-      }
-    } else {
-      // Largest chunk first (chunk size is the cost proxy: group length is unknown until
-      // executed, and chunk cost is roughly requests × script length within one script).
-      std::stable_sort(pool_tasks.begin(), pool_tasks.end(), [&](size_t a, size_t b) {
-        return tasks[a].rids.size() > tasks[b].rids.size();
-      });
-      WorkStealPool(std::min(num_threads, pool_tasks.size())).Run(pool_tasks, run_task);
-    }
-    for (size_t i : serial_tasks) {
-      run_task(i);
-    }
-  }
-  for (const AuditStats& s : task_stats) {
-    ctx.stats().MergeFrom(s);
-  }
-
-  const size_t fail = first_fail.load(std::memory_order_relaxed);
-  if (fail != kNoFailure) {
-    out.reason = plan_fail_reason;
-    for (size_t i = 0; i < tasks.size(); i++) {
-      if (tasks[i].order == fail) {
-        out.reason = task_error[i];
-        break;
-      }
-    }
+  AuditPlan plan = PlanAuditTasks(&ctx, reports, app_, options_);
+  AuditExecOutcome exec = ExecuteAuditPlan(&ctx, app_, options_, plan);
+  if (exec.fail_order != kNoAuditFailure) {
+    out.reason = exec.fail_reason;
     out.stats = ctx.stats();
     return out;
   }
@@ -212,11 +74,7 @@ AuditResult AuditSession::FeedEpoch(const Trace& trace, const Reports& reports) 
     out.stats = ctx.stats();
     return out;
   }
-  out.accepted = true;
-  out.final_state = ctx.ExtractFinalState();
-  out.stats = ctx.stats();
-  epochs_accepted_++;
-  state_ = out.final_state;  // The accepted epoch seeds the next epoch's audit (§4.5).
+  CommitAccepted(&ctx, &out);
   return out;
 }
 

@@ -20,10 +20,22 @@
 
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "src/core/auditor.h"
 
 namespace orochi {
+
+struct StreamAuditHooks;  // Test/bench instrumentation knobs (src/stream/stream_audit.h).
+struct MergedShards;      // One logical epoch merged from shard files (src/stream/shard_merge.h).
+
+// One collector shard's spill-file pair for an epoch. In the sharded deployment N
+// collectors each record their front end's slice of the epoch's traffic; the verifier
+// merge-joins the pairs back into one logical epoch (FeedShardedEpoch).
+struct ShardEpochFiles {
+  std::string trace_path;
+  std::string reports_path;
+};
 
 class AuditSession {
  public:
@@ -52,6 +64,33 @@ class AuditSession {
   Result<AuditResult> FeedEpochFiles(const std::string& trace_path,
                                      const std::string& reports_path);
 
+  // --- Out-of-core streaming audits (implemented in src/stream/stream_session.cc) ---
+  //
+  // Same contract as FeedEpochFiles, but the trace payloads never materialize in full:
+  // pass 1 streams the trace file record-by-record to build a group plan plus a byte
+  // -offset index, pass 2 re-executes chunks whose request payloads are paged in from the
+  // file on demand under AuditOptions::max_resident_bytes (env OROCHI_AUDIT_BUDGET), and
+  // the final output comparison pages response bodies in one at a time. The
+  // verdict, rejection reason, and final_state are bit-identical to FeedEpochFiles at
+  // every thread count — both paths drive the engine in src/core/audit_plan.h.
+  // `hooks` injects a counting loader/budget for tests and benches; nullptr = defaults.
+  Result<AuditResult> FeedEpochFilesStreamed(const std::string& trace_path,
+                                             const std::string& reports_path,
+                                             const StreamAuditHooks* hooks = nullptr);
+
+  // Streams spill-file pairs from many collector shards as ONE logical epoch: shards are
+  // ordered by their trace files' shard ids (argument order breaks ties), traces
+  // concatenate in that order, reports merge via AppendReports, and rid-disjointness
+  // across shards is checked up front. A merge failure (duplicate shard id, shared rid,
+  // corrupt file) is an error Result and consumes no epoch.
+  Result<AuditResult> FeedShardedEpoch(const std::vector<ShardEpochFiles>& shards,
+                                       const StreamAuditHooks* hooks = nullptr);
+  // Reads the shard list from a wire-format manifest file (relative spill paths resolve
+  // against the manifest's directory), verifying each trace file's stamped shard id
+  // against the manifest's claim.
+  Result<AuditResult> FeedShardedEpoch(const std::string& manifest_path,
+                                       const StreamAuditHooks* hooks = nullptr);
+
   // Persists the current session state as a wire-format snapshot, so a future process can
   // resume the audit chain with OpenFromStateFile.
   Status SaveState(const std::string& path) const;
@@ -64,6 +103,14 @@ class AuditSession {
   uint64_t epochs_accepted() const { return epochs_accepted_; }
 
  private:
+  // Marks `out` accepted with the context's final state and advances the session chain.
+  void CommitAccepted(AuditContext* ctx, AuditResult* out);
+
+  // Shared driver behind the streamed feeds (defined in src/stream/stream_session.cc):
+  // audits the merged skeleton epoch with payloads paged in under the budget.
+  Result<AuditResult> FeedMergedEpochStreamed(MergedShards&& merged,
+                                              const StreamAuditHooks* hooks);
+
   const Application* app_;
   AuditOptions options_;
   InitialState state_;

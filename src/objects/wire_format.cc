@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -17,9 +18,10 @@ constexpr uint64_t kMaxRecordBytes = 1ull << 30;
 constexpr size_t kHeaderBytes = sizeof(wire::kMagic) + 4 /*version*/ + 1 /*section*/;
 constexpr size_t kRecordFrameBytes = 1 /*type*/ + 8 /*length*/;
 
-// Trace section record types.
-constexpr uint8_t kRecRequest = 1;
-constexpr uint8_t kRecResponse = 2;
+// Trace section record types (public aliases live in wire:: for the point reader).
+constexpr uint8_t kRecRequest = wire::kTraceRecRequest;
+constexpr uint8_t kRecResponse = wire::kTraceRecResponse;
+constexpr uint8_t kRecShardInfo = wire::kTraceRecShardInfo;
 // Reports section record types.
 constexpr uint8_t kRecObject = 1;
 constexpr uint8_t kRecOpLog = 2;
@@ -30,6 +32,9 @@ constexpr uint8_t kRecNondet = 5;
 constexpr uint8_t kRecRegisters = 1;
 constexpr uint8_t kRecKv = 2;
 constexpr uint8_t kRecDbTable = 3;
+// Manifest section record types.
+constexpr uint8_t kRecManifestEpoch = 1;
+constexpr uint8_t kRecManifestShard = 2;
 
 // --- little-endian append primitives ---
 
@@ -376,9 +381,24 @@ void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
   sink->WriteEnd();
 }
 
+// Cross-record state for one reports read. Beyond the single-occurrence op-counts flag,
+// it enforces the object table's header discipline: object records declare the id space
+// every later record indexes into, so they must all precede the first non-object record
+// (out-of-order declarations could retroactively legitimize an op-log already rejected),
+// and no (kind, name) descriptor may be declared twice (FindObject resolves a descriptor
+// to one id; a duplicate would let two distinct byte streams decode to the same Reports).
+struct ReportsReadState {
+  bool saw_op_counts = false;
+  bool saw_non_object = false;
+  std::set<std::pair<uint8_t, std::string>> declared;
+};
+
 Status DecodeReportsRecord(uint8_t type, const std::string& payload, const std::string& path,
-                           bool* saw_op_counts, Reports* out) {
+                           ReportsReadState* state, Reports* out) {
   Cursor c = MakeCursor(payload);
+  if (type != kRecObject) {
+    state->saw_non_object = true;
+  }
   switch (type) {
     case kRecObject: {
       uint8_t kind;
@@ -389,6 +409,12 @@ Status DecodeReportsRecord(uint8_t type, const std::string& payload, const std::
       if (kind > static_cast<uint8_t>(ObjectKind::kDb)) {
         return Status::Error("wire: unknown object kind " + std::to_string(kind) + " in " +
                              path);
+      }
+      if (state->saw_non_object) {
+        return Status::Error("wire: out-of-order object record in " + path);
+      }
+      if (!state->declared.emplace(kind, name).second) {
+        return Status::Error("wire: duplicate object record for '" + name + "' in " + path);
       }
       out->objects.push_back({static_cast<ObjectKind>(kind), std::move(name)});
       out->op_logs.emplace_back();
@@ -463,10 +489,10 @@ Status DecodeReportsRecord(uint8_t type, const std::string& payload, const std::
     case kRecOpCounts: {
       // The writer emits exactly one op-counts record; accepting several would let two
       // distinct byte streams decode to the same Reports.
-      if (*saw_op_counts) {
+      if (state->saw_op_counts) {
         return Status::Error("wire: duplicate op-counts record in " + path);
       }
-      *saw_op_counts = true;
+      state->saw_op_counts = true;
       uint64_t count = 0;
       if (!c.TakeU64(&count)) {
         return Status::Error("wire: malformed op-counts record in " + path);
@@ -755,7 +781,7 @@ TraceWriter::~TraceWriter() {
   }
 }
 
-Status TraceWriter::Open(const std::string& path) {
+Status TraceWriter::Open(const std::string& path, uint32_t shard_id) {
   if (file_ != nullptr) {
     return Status::Error("wire: TraceWriter already open");
   }
@@ -765,6 +791,11 @@ Status TraceWriter::Open(const std::string& path) {
   }
   Sink sink(file_);
   sink.WriteHeader(wire::Section::kTrace);
+  if (shard_id != 0) {
+    std::string payload;
+    PutU32(&payload, shard_id);
+    sink.WriteRecord(kRecShardInfo, payload);
+  }
   return SinkStatus(sink, path);
 }
 
@@ -806,6 +837,7 @@ Status TraceReader::Open(const std::string& path) {
   if (!st.ok()) {
     return CloseFile(&file_, path, st);
   }
+  pos_ = kHeaderBytes;
   return Status::Ok();
 }
 
@@ -820,31 +852,65 @@ Result<bool> TraceReader::Next(TraceEvent* event) {
   if (file_ == nullptr) {
     return Result<bool>::Error("wire: TraceReader is not open");
   }
-  uint8_t type = 0;
-  Result<bool> more = ReadRecordFromFile(file_, "trace file", &type, &scratch_);
-  if (!more.ok() || !more.value()) {
-    done_ = true;
-    Status st = CloseFile(&file_, "trace file", more.ok() ? Status::Ok() : Status::Error(more.error()));
-    if (!st.ok()) {
-      error_ = st.error();
-      return Result<bool>::Error(error_);
-    }
-    return false;
-  }
-  Result<TraceEvent> decoded = DecodeTraceEvent(type, scratch_, "trace file");
-  if (!decoded.ok()) {
+  auto fail = [&](const std::string& message) {
     done_ = true;
     (void)CloseFile(&file_, "trace file", Status::Ok());
-    error_ = decoded.error();
+    error_ = message;
     return Result<bool>::Error(error_);
+  };
+  while (true) {
+    uint8_t type = 0;
+    Result<bool> more = ReadRecordFromFile(file_, "trace file", &type, &scratch_);
+    if (!more.ok() || !more.value()) {
+      done_ = true;
+      Status st =
+          CloseFile(&file_, "trace file", more.ok() ? Status::Ok() : Status::Error(more.error()));
+      if (!st.ok()) {
+        error_ = st.error();
+        return Result<bool>::Error(error_);
+      }
+      return false;
+    }
+    const uint64_t payload_offset = pos_ + kRecordFrameBytes;
+    pos_ = payload_offset + scratch_.size();
+    if (type == kRecShardInfo) {
+      // An in-section header: positional like the envelope header, so it must come first
+      // and must not repeat (a late or second one is a splice, not a valid layout).
+      if (saw_shard_info_) {
+        return fail("wire: duplicate shard-info record in trace file");
+      }
+      if (records_seen_ != 0) {
+        return fail("wire: out-of-order shard-info record in trace file");
+      }
+      Cursor c = MakeCursor(scratch_);
+      uint32_t id = 0;
+      if (!c.TakeU32(&id) || !c.AtEnd()) {
+        return fail("wire: malformed shard-info record in trace file");
+      }
+      if (id == 0) {
+        return fail("wire: shard-info record with shard id 0 in trace file");
+      }
+      saw_shard_info_ = true;
+      records_seen_++;
+      shard_id_ = id;
+      continue;
+    }
+    records_seen_++;
+    Result<TraceEvent> decoded = DecodeTraceEvent(type, scratch_, "trace file");
+    if (!decoded.ok()) {
+      return fail(decoded.error());
+    }
+    *event = std::move(decoded).value();
+    last_payload_offset_ = payload_offset;
+    last_payload_bytes_ = scratch_.size();
+    last_record_type_ = type;
+    return true;
   }
-  *event = std::move(decoded).value();
-  return true;
 }
 
-Status WriteTraceFile(const std::string& path, const Trace& trace) {
+Status WriteTraceFile(const std::string& path, const Trace& trace, uint32_t shard_id) {
   TraceWriter writer;
-  if (Status st = writer.Open(path); !st.ok()) {
+  if (Status st = writer.Open(path, shard_id); !st.ok()) {
     return st;
   }
   for (const TraceEvent& e : trace.events) {
@@ -875,6 +941,83 @@ Result<Trace> ReadTraceFile(const std::string& path) {
   return trace;
 }
 
+Result<TraceEvent> DecodeTraceEventPayload(uint8_t record_type, const std::string& payload) {
+  return DecodeTraceEvent(record_type, payload, "trace file");
+}
+
+// --- Shard manifest files ---
+
+Status WriteShardManifestFile(const std::string& path, const ShardManifest& manifest) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("wire: cannot create " + path);
+  }
+  Sink sink(f);
+  sink.WriteHeader(wire::Section::kManifest);
+  std::string payload;
+  if (manifest.epoch != 0) {
+    PutU64(&payload, manifest.epoch);
+    sink.WriteRecord(kRecManifestEpoch, payload);
+  }
+  for (const ShardManifestEntry& shard : manifest.shards) {
+    payload.clear();
+    PutU32(&payload, shard.shard_id);
+    PutStr(&payload, shard.trace_file);
+    PutStr(&payload, shard.reports_file);
+    sink.WriteRecord(kRecManifestShard, payload);
+  }
+  sink.WriteEnd();
+  return CloseFile(&f, path, SinkStatus(sink, path));
+}
+
+Result<ShardManifest> ReadShardManifestFile(const std::string& path) {
+  ShardManifest out;
+  bool saw_epoch = false;
+  bool saw_shard = false;
+  std::set<uint32_t> shard_ids;
+  Status st = ReadSectionFile(
+      path, wire::Section::kManifest, [&](uint8_t type, const std::string& payload) {
+        Cursor c = MakeCursor(payload);
+        switch (type) {
+          case kRecManifestEpoch:
+            // Same in-section header discipline as the trace shard-info record: at most
+            // one, and before every shard entry.
+            if (saw_epoch) {
+              return Status::Error("wire: duplicate epoch record in " + path);
+            }
+            if (saw_shard) {
+              return Status::Error("wire: out-of-order epoch record in " + path);
+            }
+            saw_epoch = true;
+            if (!c.TakeU64(&out.epoch) || !c.AtEnd()) {
+              return Status::Error("wire: malformed epoch record in " + path);
+            }
+            return Status::Ok();
+          case kRecManifestShard: {
+            saw_shard = true;
+            ShardManifestEntry shard;
+            if (!c.TakeU32(&shard.shard_id) || !c.TakeStr(&shard.trace_file) ||
+                !c.TakeStr(&shard.reports_file) || !c.AtEnd()) {
+              return Status::Error("wire: malformed shard record in " + path);
+            }
+            if (!shard_ids.insert(shard.shard_id).second) {
+              return Status::Error("wire: duplicate shard id " +
+                                   std::to_string(shard.shard_id) + " in " + path);
+            }
+            out.shards.push_back(std::move(shard));
+            return Status::Ok();
+          }
+          default:
+            return Status::Error("wire: unknown manifest record type " +
+                                 std::to_string(type) + " in " + path);
+        }
+      });
+  if (!st.ok()) {
+    return Result<ShardManifest>::Error(st.error());
+  }
+  return out;
+}
+
 // --- ReportsWriter / ReportsReader ---
 
 Status ReportsWriter::WriteFile(const std::string& path, const Reports& reports) {
@@ -889,11 +1032,11 @@ Status ReportsWriter::WriteFile(const std::string& path, const Reports& reports)
 
 Result<Reports> ReportsReader::ReadFile(const std::string& path) {
   Reports out;
-  bool saw_op_counts = false;
+  ReportsReadState state;
   Status st = ReadSectionFile(path, wire::Section::kReports,
                               [&](uint8_t type, const std::string& payload) {
                                 return DecodeReportsRecord(type, payload, path,
-                                                           &saw_op_counts, &out);
+                                                           &state, &out);
                               });
   if (!st.ok()) {
     return Result<Reports>::Error(st.error());

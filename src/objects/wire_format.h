@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/common/result.h"
 #include "src/objects/reports.h"
@@ -34,10 +35,19 @@ namespace wire {
 inline constexpr char kMagic[8] = {'O', 'R', 'O', 'C', 'H', 'I', 'W', 'F'};
 inline constexpr uint32_t kFormatVersion = 1;
 
-enum class Section : uint8_t { kTrace = 1, kReports = 2, kState = 3 };
+enum class Section : uint8_t { kTrace = 1, kReports = 2, kState = 3, kManifest = 4 };
 
 // Record type 0 with an empty payload terminates every section.
 inline constexpr uint8_t kEndRecord = 0;
+
+// Trace-section record types, public because the out-of-core audit re-reads individual
+// records by (offset, length, type) long after the streaming pass that indexed them.
+inline constexpr uint8_t kTraceRecRequest = 1;
+inline constexpr uint8_t kTraceRecResponse = 2;
+// In-section header carrying the collector's shard id. Emitted (by sharded collectors)
+// as the first record of the section; readers reject it anywhere else, and reject a
+// second one — an in-section header is positional, like the envelope header itself.
+inline constexpr uint8_t kTraceRecShardInfo = 3;
 
 }  // namespace wire
 
@@ -52,7 +62,10 @@ class TraceWriter {
   TraceWriter(const TraceWriter&) = delete;
   TraceWriter& operator=(const TraceWriter&) = delete;
 
-  Status Open(const std::string& path);
+  // A nonzero shard_id stamps the file with a leading shard-info record, so a verifier
+  // merging spill files from many collectors can identify and order the shards. Zero
+  // (the default) writes the classic single-collector layout, byte-identical to before.
+  Status Open(const std::string& path, uint32_t shard_id = 0);
   Status Append(const TraceEvent& event);
   // Writes the end record and closes; the file is valid only after Finish succeeds.
   Status Finish();
@@ -71,18 +84,43 @@ class TraceReader {
 
   Status Open(const std::string& path);
   // True: *event holds the next trace event. False: clean end of section (and on any
-  // further calls). Error: corrupt/truncated file (sticky across calls).
+  // further calls). Error: corrupt/truncated file (sticky across calls). A shard-info
+  // record is consumed transparently (see shard_id()); it must be the first record of the
+  // section and must not repeat — a duplicate or out-of-order in-section header rejects.
   Result<bool> Next(TraceEvent* event);
+
+  // Shard id from the file's shard-info record; 0 until one is read (unsharded files
+  // never carry one).
+  uint32_t shard_id() const { return shard_id_; }
+
+  // Location of the record the last successful Next() returned, for offset indexes built
+  // by the out-of-core audit: the file offset of the record's payload (just past the
+  // 9-byte frame), the payload's byte length, and its wire record type.
+  uint64_t last_payload_offset() const { return last_payload_offset_; }
+  uint64_t last_payload_bytes() const { return last_payload_bytes_; }
+  uint8_t last_record_type() const { return last_record_type_; }
 
  private:
   std::FILE* file_ = nullptr;
   std::string scratch_;
   bool done_ = false;
   std::string error_;  // Nonempty once a read has failed.
+  uint64_t pos_ = 0;   // File offset of the next record frame.
+  uint64_t records_seen_ = 0;
+  bool saw_shard_info_ = false;
+  uint32_t shard_id_ = 0;
+  uint64_t last_payload_offset_ = 0;
+  uint64_t last_payload_bytes_ = 0;
+  uint8_t last_record_type_ = 0;
 };
 
-Status WriteTraceFile(const std::string& path, const Trace& trace);
+Status WriteTraceFile(const std::string& path, const Trace& trace, uint32_t shard_id = 0);
 Result<Trace> ReadTraceFile(const std::string& path);
+
+// Decodes one trace record payload (wire::kTraceRecRequest / kTraceRecResponse) exactly as
+// TraceReader::Next would. The out-of-core audit uses this to materialize a single event
+// from a point read at an offset recorded during the streaming pass.
+Result<TraceEvent> DecodeTraceEventPayload(uint8_t record_type, const std::string& payload);
 
 // --- Reports files ---
 // Section layout: object-table records (in object-id order), one op-log record per
@@ -105,6 +143,29 @@ inline Status WriteReportsFile(const std::string& path, const Reports& reports) 
 inline Result<Reports> ReadReportsFile(const std::string& path) {
   return ReportsReader::ReadFile(path);
 }
+
+// --- Shard manifest files ---
+// A tiny wire-format section (kind 4) naming the spill-file pair each collector shard
+// produced for one epoch, so a single verifier can audit many front ends:
+// `AuditSession::FeedShardedEpoch(manifest_path)` merge-joins the listed pairs into one
+// logical epoch. File paths are stored as written (typically relative to the manifest's
+// own directory) and resolved by the reader's caller. Shard ids must be unique within a
+// manifest; the optional epoch record, when present, must precede the shard entries —
+// the same in-section header discipline the trace shard-info record follows.
+
+struct ShardManifestEntry {
+  uint32_t shard_id = 0;
+  std::string trace_file;
+  std::string reports_file;
+};
+
+struct ShardManifest {
+  uint64_t epoch = 0;
+  std::vector<ShardManifestEntry> shards;
+};
+
+Status WriteShardManifestFile(const std::string& path, const ShardManifest& manifest);
+Result<ShardManifest> ReadShardManifestFile(const std::string& path);
 
 // --- InitialState snapshot files ---
 // Registers, KV contents, and every database table (schema + rows), enough to reopen an

@@ -17,6 +17,15 @@ namespace orochi {
 
 class Collector {
  public:
+  // In a sharded deployment one collector sits in front of each front end; a nonzero
+  // shard_id stamps every spill file this collector flushes so the verifier can identify
+  // and deterministically order the shards when merging one logical epoch
+  // (AuditSession::FeedShardedEpoch). The default 0 is the classic single-collector
+  // deployment and leaves the spill files byte-identical to before.
+  explicit Collector(uint32_t shard_id = 0) : shard_id_(shard_id) {}
+
+  uint32_t shard_id() const { return shard_id_; }
+
   void RecordRequest(RequestId rid, const std::string& script, const RequestParams& params) {
     std::lock_guard<std::mutex> lock(mu_);
     TraceEvent e;
@@ -57,7 +66,7 @@ class Collector {
   // so no recorded traffic is lost. Call after draining the server.
   Status Flush(const std::string& path) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (Status st = WriteTraceFile(path, trace_); !st.ok()) {
+    if (Status st = WriteTraceFile(path, trace_, shard_id_); !st.ok()) {
       return st;
     }
     trace_ = Trace{};
@@ -65,6 +74,7 @@ class Collector {
   }
 
  private:
+  const uint32_t shard_id_ = 0;
   mutable std::mutex mu_;
   Trace trace_;
 };

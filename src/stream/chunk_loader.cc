@@ -1,0 +1,126 @@
+#include "src/stream/chunk_loader.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "src/objects/wire_format.h"
+
+namespace orochi {
+
+uint64_t ResolveAuditBudget(const AuditOptions& options) {
+  if (options.max_resident_bytes > 0) {
+    return options.max_resident_bytes;
+  }
+  if (const char* env = std::getenv("OROCHI_AUDIT_BUDGET")) {
+    long long v = std::atoll(env);
+    if (v > 0) {
+      return static_cast<uint64_t>(v);
+    }
+  }
+  return 0;
+}
+
+void ChunkBudget::Acquire(uint64_t bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return used_ == 0 || max_ == 0 || used_ + bytes <= max_; });
+  used_ += bytes;
+  if (used_ > peak_) {
+    peak_ = used_;
+  }
+}
+
+void ChunkBudget::Release(uint64_t bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    used_ -= bytes;
+  }
+  cv_.notify_all();
+}
+
+uint64_t ChunkBudget::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+FileTraceChunkLoader::FileTraceChunkLoader(const StreamTraceSet* set)
+    : fds_(set->num_files(), -1) {}
+
+FileTraceChunkLoader::~FileTraceChunkLoader() {
+  for (int fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+}
+
+Status FileTraceChunkLoader::Load(const StreamTraceSet& set, size_t index,
+                                  TraceEvent* event) {
+  const TraceEventLoc& loc = set.loc(index);
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (loc.file >= fds_.size()) {
+      // The set driving the audit can be larger than the one this loader was sized from
+      // (a hooks loader built over a probe set while FeedShardedEpoch merges N files).
+      fds_.resize(set.num_files(), -1);
+    }
+    fd = fds_[loc.file];
+    if (fd < 0) {
+      fd = ::open(set.file_path(loc.file).c_str(), O_RDONLY);
+      if (fd < 0) {
+        return Status::Error("stream: cannot reopen " + set.file_path(loc.file) +
+                             " for chunk load");
+      }
+      fds_[loc.file] = fd;
+    }
+  }
+  std::string payload(static_cast<size_t>(loc.bytes), '\0');
+  size_t done = 0;
+  while (done < payload.size()) {
+    ssize_t n = ::pread(fd, &payload[done], payload.size() - done,
+                        static_cast<off_t>(loc.offset + done));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return Status::Error("stream: short read at offset " + std::to_string(loc.offset) +
+                           " in " + set.file_path(loc.file));
+    }
+    done += static_cast<size_t>(n);
+  }
+  Result<TraceEvent> decoded = DecodeTraceEventPayload(loc.record_type, payload);
+  if (!decoded.ok()) {
+    return Status::Error("stream: " + set.file_path(loc.file) +
+                         " changed during the audit: " + decoded.error());
+  }
+  if (decoded.value().rid != event->rid) {
+    return Status::Error("stream: " + set.file_path(loc.file) +
+                         " changed during the audit: rid mismatch at offset " +
+                         std::to_string(loc.offset));
+  }
+  if (event->kind == TraceEvent::Kind::kRequest) {
+    event->params = std::move(decoded.value().params);
+  } else {
+    event->body = std::move(decoded.value().body);
+  }
+  return Status::Ok();
+}
+
+void FileTraceChunkLoader::Evict(const StreamTraceSet& set, size_t index,
+                                 TraceEvent* event) {
+  (void)set;
+  (void)index;
+  if (event->kind == TraceEvent::Kind::kRequest) {
+    event->params = RequestParams{};
+  } else {
+    event->body.clear();
+    event->body.shrink_to_fit();
+  }
+}
+
+}  // namespace orochi

@@ -1,0 +1,96 @@
+// The memory governor of the out-of-core audit: a byte budget that workers block on
+// before paging a chunk's trace payloads in, and the loader that performs the point reads
+// against the spill files indexed by pass 1.
+//
+// Budget discipline: a worker may hold payload bytes only between its chunk's Acquire and
+// Release, so resident bytes never exceed max(budget, largest single chunk) — the
+// oversized-chunk exception admits a chunk bigger than the whole budget only while
+// nothing else is resident, which is what lets an epoch with one huge group still audit
+// in bounded memory (one group at a time) instead of deadlocking.
+#ifndef SRC_STREAM_CHUNK_LOADER_H_
+#define SRC_STREAM_CHUNK_LOADER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/audit_context.h"
+#include "src/stream/trace_index.h"
+
+namespace orochi {
+
+// Budget (bytes) an AuditOptions resolves to for streamed audits: max_resident_bytes when
+// nonzero, else the OROCHI_AUDIT_BUDGET environment variable, else 0 (unlimited).
+uint64_t ResolveAuditBudget(const AuditOptions& options);
+
+class ChunkBudget {
+ public:
+  explicit ChunkBudget(uint64_t max_bytes) : max_(max_bytes) {}
+
+  // Blocks until `bytes` fits: used + bytes <= max, or nothing is resident (the oversized
+  // -chunk exception; also the unlimited case when max == 0 never blocks). Progress is
+  // guaranteed because holders never block on the budget between Acquire and Release.
+  void Acquire(uint64_t bytes);
+  void Release(uint64_t bytes);
+
+  uint64_t max_bytes() const { return max_; }
+  // High-water mark of resident bytes, for benches and budget assertions in tests.
+  uint64_t peak_bytes() const;
+
+ private:
+  const uint64_t max_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t used_ = 0;
+  uint64_t peak_ = 0;
+};
+
+// Pages individual trace-event payloads in and out of the pass-1 skeleton. Load/Evict
+// calls for one event always come from the thread running that event's chunk, and chunks
+// partition the rids, so implementations need no per-event locking — only whatever guards
+// their own file-handle state. Virtual so tests can interpose a counting loader that
+// asserts the budget held.
+class TraceChunkLoader {
+ public:
+  virtual ~TraceChunkLoader() = default;
+
+  // Reads event `index`'s payload from its spill file and installs it into the skeleton
+  // event (request params / response body).
+  virtual Status Load(const StreamTraceSet& set, size_t index, TraceEvent* event) = 0;
+  // Drops the payload again, returning the event to skeleton form.
+  virtual void Evict(const StreamTraceSet& set, size_t index, TraceEvent* event) = 0;
+
+  // Chunk-residency brackets: OnChunkResident fires after a chunk's bytes are admitted by
+  // the budget (before its Loads), OnChunkEvicted after its Evicts and budget release.
+  // Default no-ops; counting loaders use them to track concurrent residency.
+  virtual void OnChunkResident(uint64_t bytes) { (void)bytes; }
+  virtual void OnChunkEvicted(uint64_t bytes) { (void)bytes; }
+};
+
+// The real loader: positional reads (pread) against lazily opened descriptors for the
+// spill files, so concurrent workers never share a file position. Verifies that the bytes
+// re-read at an indexed offset still decode to the indexed rid — a spill file mutated
+// mid-audit surfaces as an I/O error, never as silent misattribution.
+class FileTraceChunkLoader : public TraceChunkLoader {
+ public:
+  // `set` only pre-sizes the descriptor table; Load follows the set it is handed (the
+  // audit's own merged set when this loader rides in via StreamAuditHooks), growing the
+  // table as needed.
+  explicit FileTraceChunkLoader(const StreamTraceSet* set);
+  ~FileTraceChunkLoader() override;
+  FileTraceChunkLoader(const FileTraceChunkLoader&) = delete;
+  FileTraceChunkLoader& operator=(const FileTraceChunkLoader&) = delete;
+
+  Status Load(const StreamTraceSet& set, size_t index, TraceEvent* event) override;
+  void Evict(const StreamTraceSet& set, size_t index, TraceEvent* event) override;
+
+ private:
+  std::mutex mu_;         // Guards fds_ (lazy opens); reads themselves are lock-free.
+  std::vector<int> fds_;  // -1 = not yet opened.
+};
+
+}  // namespace orochi
+
+#endif  // SRC_STREAM_CHUNK_LOADER_H_

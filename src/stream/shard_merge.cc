@@ -1,0 +1,138 @@
+#include "src/stream/shard_merge.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "src/objects/wire_format.h"
+
+namespace orochi {
+
+namespace {
+
+// The stamped shard id of a trace spill file: streams at most one record (the shard-info
+// header, when present, precedes every event). An empty or shard-info-only file is fine.
+Result<uint32_t> PeekTraceShardId(const std::string& path) {
+  TraceReader reader;
+  if (Status st = reader.Open(path); !st.ok()) {
+    return Result<uint32_t>::Error(st.error());
+  }
+  TraceEvent event;
+  Result<bool> more = reader.Next(&event);
+  if (!more.ok()) {
+    return Result<uint32_t>::Error(more.error());
+  }
+  return reader.shard_id();
+}
+
+std::string DirOf(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+std::string Resolve(const std::string& dir, const std::string& file) {
+  if (!file.empty() && file[0] == '/') {
+    return file;
+  }
+  return dir + "/" + file;
+}
+
+}  // namespace
+
+Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
+                                 const std::vector<uint32_t>& expected_ids) {
+  using R = Result<MergedShards>;
+  if (shards.empty()) {
+    return R::Error("shard merge: no shards given");
+  }
+  if (!expected_ids.empty() && expected_ids.size() != shards.size()) {
+    return R::Error("shard merge: expected-id list does not match the shard list");
+  }
+
+  // Resolve each shard's effective id (stamped id, else the manifest's claim) and fix the
+  // merge order: ascending id, argument position breaking ties. Sorting before any heavy
+  // read keeps the merged epoch independent of the order the caller listed the files in.
+  struct Entry {
+    size_t pos;
+    uint32_t id;
+  };
+  std::vector<Entry> order(shards.size());
+  for (size_t i = 0; i < shards.size(); i++) {
+    Result<uint32_t> stamped = PeekTraceShardId(shards[i].trace_path);
+    if (!stamped.ok()) {
+      return R::Error("shard merge: " + stamped.error());
+    }
+    uint32_t id = stamped.value();
+    if (!expected_ids.empty()) {
+      if (id != 0 && expected_ids[i] != id) {
+        return R::Error("shard merge: " + shards[i].trace_path + " is stamped shard " +
+                        std::to_string(id) + " but the manifest claims shard " +
+                        std::to_string(expected_ids[i]));
+      }
+      id = expected_ids[i];
+    }
+    order[i] = {i, id};
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Entry& a, const Entry& b) { return a.id < b.id; });
+  for (size_t i = 1; i < order.size(); i++) {
+    if (order[i].id != 0 && order[i].id == order[i - 1].id) {
+      return R::Error("shard merge: shard id " + std::to_string(order[i].id) +
+                      " appears twice");
+    }
+  }
+
+  MergedShards out;
+  std::unordered_set<RequestId> prior_rids;
+  for (const Entry& e : order) {
+    const ShardEpochFiles& shard = shards[e.pos];
+    const size_t events_before = out.traces.num_events();
+    Result<uint32_t> appended = out.traces.AppendFile(shard.trace_path);
+    if (!appended.ok()) {
+      return R::Error("shard merge: " + appended.error());
+    }
+    // Rid-disjointness across shard traces. (Duplicates *within* one shard stay for the
+    // audit's balanced-trace check to reject, exactly as the unsharded path would.)
+    std::unordered_set<RequestId> shard_rids;
+    for (size_t i = events_before; i < out.traces.num_events(); i++) {
+      const TraceEvent& event = out.traces.skeleton().events[i];
+      if (event.kind != TraceEvent::Kind::kRequest) {
+        continue;
+      }
+      if (prior_rids.count(event.rid) > 0) {
+        return R::Error("shard merge: rid " + std::to_string(event.rid) +
+                        " appears in more than one shard's trace");
+      }
+      shard_rids.insert(event.rid);
+    }
+    prior_rids.insert(shard_rids.begin(), shard_rids.end());
+
+    Result<Reports> reports = ReadReportsFile(shard.reports_path);
+    if (!reports.ok()) {
+      return R::Error("shard merge: " + reports.error());
+    }
+    if (Status st = AppendReports(&out.reports, reports.value()); !st.ok()) {
+      return R::Error("shard merge: " + shard.reports_path + ": " + st.error());
+    }
+    out.shard_ids.push_back(e.id);
+  }
+  return out;
+}
+
+Result<MergedShards> MergeShardsFromManifest(const std::string& manifest_path) {
+  Result<ShardManifest> manifest = ReadShardManifestFile(manifest_path);
+  if (!manifest.ok()) {
+    return Result<MergedShards>::Error(manifest.error());
+  }
+  const std::string dir = DirOf(manifest_path);
+  std::vector<ShardEpochFiles> shards;
+  std::vector<uint32_t> ids;
+  shards.reserve(manifest.value().shards.size());
+  for (const ShardManifestEntry& entry : manifest.value().shards) {
+    shards.push_back({Resolve(dir, entry.trace_file), Resolve(dir, entry.reports_file)});
+    ids.push_back(entry.shard_id);
+  }
+  return MergeShards(shards, ids);
+}
+
+}  // namespace orochi

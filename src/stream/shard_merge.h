@@ -1,0 +1,45 @@
+// Merge-join of per-collector spill-file pairs into one logical epoch, so a single
+// verifier can audit many front ends (the ROADMAP's sharded-collector deployment):
+//
+//   shard 3 ── trace_3.bin / reports_3.bin ─┐
+//   shard 1 ── trace_1.bin / reports_1.bin ─┼─ MergeShards ─► one skeleton trace set
+//   shard 2 ── trace_2.bin / reports_2.bin ─┘                 + one merged Reports
+//
+// Determinism: shards always merge in ascending stamped-shard-id order (argument position
+// breaks ties, covering unstamped files), traces concatenate in that order, and reports
+// merge via AppendReports — so every verifier that feeds the same file set computes the
+// same logical epoch, byte for byte. A requestID appearing in two shards' traces or
+// reports is a merge error: shards are front-end slices of disjoint traffic, and a shared
+// rid would make the concatenated trace unbalanced by construction.
+#ifndef SRC_STREAM_SHARD_MERGE_H_
+#define SRC_STREAM_SHARD_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/audit_session.h"
+#include "src/objects/reports.h"
+#include "src/stream/trace_index.h"
+
+namespace orochi {
+
+struct MergedShards {
+  StreamTraceSet traces;          // Shard traces appended in merge order (pass-1 skeletons).
+  Reports reports;                // AppendReports-merged (object-id remap, group-tag merge).
+  std::vector<uint32_t> shard_ids;  // Stamped ids in merge order (0 = unstamped).
+};
+
+// `expected_ids`, when nonempty (the manifest path), must parallel `shards`; each entry is
+// checked against the trace file's stamped id — a collector that stamped shard 3 cannot be
+// passed off as the manifest's shard 2.
+Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
+                                 const std::vector<uint32_t>& expected_ids = {});
+
+// Reads a wire-format shard manifest and merges the pairs it names, resolving relative
+// spill paths against the manifest file's directory.
+Result<MergedShards> MergeShardsFromManifest(const std::string& manifest_path);
+
+}  // namespace orochi
+
+#endif  // SRC_STREAM_SHARD_MERGE_H_

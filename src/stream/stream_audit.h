@@ -1,0 +1,27 @@
+// Instrumentation surface of the out-of-core audit (AuditSession::FeedEpochFilesStreamed
+// and FeedShardedEpoch): tests swap in a counting TraceChunkLoader to assert the memory
+// budget actually held, and benches read the ChunkBudget's high-water mark to report peak
+// resident trace bytes. Production callers pass nothing and get a FileTraceChunkLoader
+// plus a budget resolved from AuditOptions::max_resident_bytes / OROCHI_AUDIT_BUDGET.
+#ifndef SRC_STREAM_STREAM_AUDIT_H_
+#define SRC_STREAM_STREAM_AUDIT_H_
+
+#include "src/core/audit_session.h"
+#include "src/stream/chunk_loader.h"
+#include "src/stream/shard_merge.h"
+#include "src/stream/trace_index.h"
+
+namespace orochi {
+
+struct StreamAuditHooks {
+  // Overrides the payload loader. The hook's Load/Evict see exactly the point reads the
+  // audit performs, bracketed by OnChunkResident/OnChunkEvicted per chunk. Not owned.
+  TraceChunkLoader* loader = nullptr;
+  // Overrides the budget (its max wins over the options/env resolution). Not owned; lets
+  // a bench read peak_bytes() after the audit returns.
+  ChunkBudget* budget = nullptr;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_STREAM_STREAM_AUDIT_H_

@@ -1,0 +1,223 @@
+// The out-of-core members of AuditSession (declared in src/core/audit_session.h): the
+// two-pass streaming audit and its sharded-ingestion front door.
+//
+//   pass 1  StreamTraceSet/ShardMerge — stream every spill record, keep a skeleton+index
+//   pass 2  ExecuteAuditPlan + StreamTaskGate — re-execute chunks whose request payloads
+//           are paged in on demand under the ChunkBudget, evicted as tasks retire
+//   pass 3  StreamedCompareOutputs — page response bodies in one at a time (point reads
+//           via the pass-1 index) and compare against the produced outputs, in trace order
+//
+// Verdict, rejection reason, and final_state are bit-identical to the in-memory
+// FeedEpoch/FeedEpochFiles path at every thread count: both paths run the same planner
+// and executor (src/core/audit_plan.h) over the same AuditContext — the streaming path
+// only changes *when* payload bytes are resident, never what the audit computes.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/timer.h"
+#include "src/core/audit_plan.h"
+#include "src/core/audit_session.h"
+#include "src/objects/wire_format.h"
+#include "src/stream/stream_audit.h"
+
+namespace orochi {
+
+namespace {
+
+// Pages one chunk's request payloads in around its re-execution. Acquire/Release run on
+// the worker thread executing the task, and pool tasks never share a rid (duplicate
+// claims run serially after the join), so the skeleton events a gate call mutates are
+// only ever read by that same thread's RunGroupChunk.
+class StreamTaskGate : public AuditTaskGate {
+ public:
+  StreamTaskGate(StreamTraceSet* set, TraceChunkLoader* loader, ChunkBudget* budget)
+      : set_(set), loader_(loader), budget_(budget) {}
+
+  Status Acquire(const AuditTask& task) override {
+    const uint64_t bytes = TaskBytes(task);
+    budget_->Acquire(bytes);
+    loader_->OnChunkResident(bytes);
+    Trace* skeleton = set_->mutable_skeleton();
+    for (size_t i = 0; i < task.rids.size(); i++) {
+      size_t index = set_->RequestIndex(task.rids[i]);
+      if (index == SIZE_MAX) {
+        continue;  // Planning already verified every chunk rid is traced.
+      }
+      if (Status st = loader_->Load(*set_, index, &skeleton->events[index]); !st.ok()) {
+        EvictPrefix(task, i + 1);
+        loader_->OnChunkEvicted(bytes);
+        budget_->Release(bytes);
+        return st;
+      }
+    }
+    return Status::Ok();
+  }
+
+  void Release(const AuditTask& task) override {
+    EvictPrefix(task, task.rids.size());
+    const uint64_t bytes = TaskBytes(task);
+    loader_->OnChunkEvicted(bytes);
+    budget_->Release(bytes);
+  }
+
+ private:
+  uint64_t TaskBytes(const AuditTask& task) const {
+    uint64_t bytes = 0;
+    for (RequestId rid : task.rids) {
+      size_t index = set_->RequestIndex(rid);
+      if (index != SIZE_MAX) {
+        bytes += set_->loc(index).bytes;
+      }
+    }
+    return bytes;
+  }
+
+  void EvictPrefix(const AuditTask& task, size_t count) {
+    Trace* skeleton = set_->mutable_skeleton();
+    for (size_t i = 0; i < count; i++) {
+      size_t index = set_->RequestIndex(task.rids[i]);
+      if (index != SIZE_MAX) {
+        loader_->Evict(*set_, index, &skeleton->events[index]);
+      }
+    }
+  }
+
+  StreamTraceSet* set_;
+  TraceChunkLoader* loader_;
+  ChunkBudget* budget_;
+};
+
+// Pass 3: AuditContext::CompareOutputs for an epoch whose skeleton holds no response
+// bodies — page each response body in by itself (a point read via the pass-1 index, so
+// the request payloads, the bulk of the file, are never re-read), run it through the
+// context's shared per-response check so both paths reject with the same reason from the
+// same code, and evict before moving on. Index order is trace order, and each body is
+// charged to the budget while resident, so the resident-byte guarantee covers the
+// compare pass too. *reject_reason carries the audit verdict (empty = outputs match);
+// the Status is file health only.
+Status StreamedCompareOutputs(const AuditContext& ctx, StreamTraceSet* set,
+                              TraceChunkLoader* loader, ChunkBudget* budget,
+                              std::string* reject_reason) {
+  reject_reason->clear();
+  Trace* skeleton = set->mutable_skeleton();
+  for (size_t i = 0; i < set->num_events(); i++) {
+    TraceEvent& event = skeleton->events[i];
+    if (event.kind != TraceEvent::Kind::kResponse) {
+      continue;
+    }
+    const uint64_t bytes = set->loc(i).bytes;
+    budget->Acquire(bytes);
+    loader->OnChunkResident(bytes);
+    Status load = loader->Load(*set, i, &event);
+    std::string verdict;
+    if (load.ok()) {
+      verdict = ctx.CheckResponseOutput(event.rid, event.body);
+      loader->Evict(*set, i, &event);
+    }
+    loader->OnChunkEvicted(bytes);
+    budget->Release(bytes);
+    if (!load.ok()) {
+      return load;
+    }
+    if (!verdict.empty()) {
+      *reject_reason = std::move(verdict);
+      return Status::Ok();
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
+                                                          const StreamAuditHooks* hooks) {
+  using R = Result<AuditResult>;
+  epochs_fed_++;
+  AuditResult out;
+  AuditContext ctx(&merged.traces.skeleton(), &merged.reports, app_, &state_, options_);
+  auto reject = [&](std::string reason) {
+    out.reason = std::move(reason);
+    out.stats = ctx.stats();
+    return R(out);
+  };
+  if (Status st = ctx.Prepare(); !st.ok()) {
+    return reject(st.error());
+  }
+
+  AuditPlan plan = PlanAuditTasks(&ctx, merged.reports, app_, options_);
+
+  FileTraceChunkLoader default_loader(&merged.traces);
+  ChunkBudget default_budget(ResolveAuditBudget(options_));
+  TraceChunkLoader* loader =
+      hooks != nullptr && hooks->loader != nullptr ? hooks->loader : &default_loader;
+  ChunkBudget* budget =
+      hooks != nullptr && hooks->budget != nullptr ? hooks->budget : &default_budget;
+  StreamTaskGate gate(&merged.traces, loader, budget);
+  AuditExecOutcome exec = ExecuteAuditPlan(&ctx, app_, options_, plan, &gate);
+  if (exec.gate_failed) {
+    // Paging a chunk in failed (spill file vanished or changed mid-audit): a file-level
+    // error, not a verdict — the epoch is unconsumed, exactly like a corrupt FeedEpochFiles.
+    epochs_fed_--;
+    return R::Error(exec.fail_reason);
+  }
+  if (exec.fail_order != kNoAuditFailure) {
+    return reject(exec.fail_reason);
+  }
+
+  std::string compare_reason;
+  {
+    ScopedAccumulator t(&ctx.stats().other_seconds);
+    if (Status st = StreamedCompareOutputs(ctx, &merged.traces, loader, budget,
+                                           &compare_reason);
+        !st.ok()) {
+      epochs_fed_--;
+      return R::Error(st.error());
+    }
+  }
+  if (!compare_reason.empty()) {
+    return reject(std::move(compare_reason));
+  }
+  CommitAccepted(&ctx, &out);
+  return out;
+}
+
+Result<AuditResult> AuditSession::FeedEpochFilesStreamed(const std::string& trace_path,
+                                                         const std::string& reports_path,
+                                                         const StreamAuditHooks* hooks) {
+  using R = Result<AuditResult>;
+  // Built directly (not via MergeShards) so single-file error messages stay identical to
+  // FeedEpochFiles' — the degenerate one-shard case is a drop-in replacement.
+  MergedShards merged;
+  Result<uint32_t> shard = merged.traces.AppendFile(trace_path);
+  if (!shard.ok()) {
+    return R::Error(shard.error());
+  }
+  Result<Reports> reports = ReadReportsFile(reports_path);
+  if (!reports.ok()) {
+    return R::Error(reports.error());
+  }
+  merged.reports = std::move(reports).value();
+  merged.shard_ids.push_back(shard.value());
+  return FeedMergedEpochStreamed(std::move(merged), hooks);
+}
+
+Result<AuditResult> AuditSession::FeedShardedEpoch(const std::vector<ShardEpochFiles>& shards,
+                                                   const StreamAuditHooks* hooks) {
+  Result<MergedShards> merged = MergeShards(shards);
+  if (!merged.ok()) {
+    return Result<AuditResult>::Error(merged.error());
+  }
+  return FeedMergedEpochStreamed(std::move(merged).value(), hooks);
+}
+
+Result<AuditResult> AuditSession::FeedShardedEpoch(const std::string& manifest_path,
+                                                   const StreamAuditHooks* hooks) {
+  Result<MergedShards> merged = MergeShardsFromManifest(manifest_path);
+  if (!merged.ok()) {
+    return Result<AuditResult>::Error(merged.error());
+  }
+  return FeedMergedEpochStreamed(std::move(merged).value(), hooks);
+}
+
+}  // namespace orochi

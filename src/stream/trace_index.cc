@@ -1,0 +1,50 @@
+#include "src/stream/trace_index.h"
+
+#include <utility>
+
+#include "src/objects/wire_format.h"
+
+namespace orochi {
+
+Result<uint32_t> StreamTraceSet::AppendFile(const std::string& path) {
+  TraceReader reader;
+  if (Status st = reader.Open(path); !st.ok()) {
+    return Result<uint32_t>::Error(st.error());
+  }
+  const uint32_t file = static_cast<uint32_t>(files_.size());
+  files_.push_back(path);
+  while (true) {
+    TraceEvent event;
+    Result<bool> more = reader.Next(&event);
+    if (!more.ok()) {
+      return Result<uint32_t>::Error(more.error());
+    }
+    if (!more.value()) {
+      break;
+    }
+    TraceEventLoc loc;
+    loc.file = file;
+    loc.record_type = reader.last_record_type();
+    loc.offset = reader.last_payload_offset();
+    loc.bytes = reader.last_payload_bytes();
+    if (event.kind == TraceEvent::Kind::kRequest) {
+      request_index_.emplace(event.rid, locs_.size());
+      total_request_payload_bytes_ += loc.bytes;
+      // Keep the script (planning groups by it); shed the payload.
+      event.params = RequestParams{};
+    } else {
+      event.body.clear();
+      event.body.shrink_to_fit();
+    }
+    locs_.push_back(loc);
+    skeleton_.events.push_back(std::move(event));
+  }
+  return reader.shard_id();
+}
+
+size_t StreamTraceSet::RequestIndex(RequestId rid) const {
+  auto it = request_index_.find(rid);
+  return it == request_index_.end() ? SIZE_MAX : it->second;
+}
+
+}  // namespace orochi

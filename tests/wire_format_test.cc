@@ -387,6 +387,168 @@ TEST(WireFormat, RejectsDuplicateOpCountsRecords) {
   EXPECT_NE(back.error().find("duplicate op-counts"), std::string::npos) << back.error();
 }
 
+// --- In-section header discipline (shard-info, object table, manifest) ---
+
+TEST(WireTrace, ShardedFileRoundTripsAndExposesShardId) {
+  Trace t = SampleTrace();
+  std::string path = TempPath("sharded_trace.bin");
+  ASSERT_TRUE(WriteTraceFile(path, t, /*shard_id=*/12).ok());
+  // The bulk reader tolerates (and skips) the shard-info header...
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_TRUE(TraceEq(t, back.value()));
+  // ...and the streaming reader surfaces the id.
+  TraceReader reader;
+  ASSERT_TRUE(reader.Open(path).ok());
+  TraceEvent e;
+  ASSERT_TRUE(reader.Next(&e).ok());
+  EXPECT_EQ(reader.shard_id(), 12u);
+}
+
+std::string ShardInfoRecordBytes(uint32_t id) {
+  std::string payload;
+  AppendU32(&payload, id);
+  std::string out;
+  AppendRecord(&out, 3, payload);  // kTraceRecShardInfo.
+  return out;
+}
+
+TEST(WireTrace, RejectsDuplicateShardInfoRecord) {
+  std::string bytes = Header(1) + ShardInfoRecordBytes(1) + ShardInfoRecordBytes(1);
+  AppendRecord(&bytes, 0, "");
+  std::string path = TempPath("dup_shard_info.bin");
+  WriteFileBytes(path, bytes);
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("duplicate shard-info"), std::string::npos) << back.error();
+}
+
+TEST(WireTrace, RejectsOutOfOrderShardInfoRecord) {
+  // A response record first, then the shard-info header: an in-section header is
+  // positional, so a late one is a splice, not a valid layout.
+  std::string response;
+  AppendU64(&response, 7);
+  AppendU32(&response, 0);  // Empty body string.
+  std::string bytes = Header(1);
+  AppendRecord(&bytes, 2, response);
+  bytes += ShardInfoRecordBytes(1);
+  AppendRecord(&bytes, 0, "");
+  std::string path = TempPath("late_shard_info.bin");
+  WriteFileBytes(path, bytes);
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("out-of-order shard-info"), std::string::npos)
+      << back.error();
+}
+
+TEST(WireTrace, RejectsShardIdZeroRecord) {
+  std::string bytes = Header(1) + ShardInfoRecordBytes(0);
+  AppendRecord(&bytes, 0, "");
+  std::string path = TempPath("zero_shard_info.bin");
+  WriteFileBytes(path, bytes);
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("shard id 0"), std::string::npos) << back.error();
+}
+
+// Two complete sections spliced into one file: the second envelope header must not parse
+// as more records.
+TEST(WireTrace, RejectsConcatenatedSections) {
+  std::string path = TempPath("concat_sections.bin");
+  ASSERT_TRUE(WriteTraceFile(path, SampleTrace()).ok());
+  std::string once = ReadFileBytes(path);
+  WriteFileBytes(path, once + once);
+  Result<Trace> back = ReadTraceFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("trailing bytes"), std::string::npos) << back.error();
+}
+
+std::string ObjectRecordBytes(uint8_t kind, const std::string& name) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kind));
+  AppendU32(&payload, static_cast<uint32_t>(name.size()));
+  payload += name;
+  std::string out;
+  AppendRecord(&out, 1, payload);  // kRecObject.
+  return out;
+}
+
+TEST(WireReports, RejectsDuplicateObjectRecord) {
+  std::string bytes = Header(2) + ObjectRecordBytes(0, "r") + ObjectRecordBytes(0, "r");
+  AppendRecord(&bytes, 0, "");
+  std::string path = TempPath("dup_object.bin");
+  WriteFileBytes(path, bytes);
+  Result<Reports> back = ReadReportsFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("duplicate object record"), std::string::npos)
+      << back.error();
+}
+
+TEST(WireReports, RejectsOutOfOrderObjectRecord) {
+  // The object table declares the id space everything else indexes into, so an object
+  // record after any non-object record is rejected (the writer always emits them first).
+  std::string counts;
+  AppendU64(&counts, 0);
+  std::string bytes = Header(2) + ObjectRecordBytes(1, "");
+  AppendRecord(&bytes, 4, counts);  // kRecOpCounts.
+  bytes += ObjectRecordBytes(0, "late");
+  AppendRecord(&bytes, 0, "");
+  std::string path = TempPath("late_object.bin");
+  WriteFileBytes(path, bytes);
+  Result<Reports> back = ReadReportsFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("out-of-order object record"), std::string::npos)
+      << back.error();
+}
+
+TEST(WireManifest, RoundTrips) {
+  ShardManifest m;
+  m.epoch = 42;
+  m.shards.push_back({1, "trace_1.bin", "reports_1.bin"});
+  m.shards.push_back({2, "sub/trace_2.bin", "sub/reports_2.bin"});
+  m.shards.push_back({7, "/abs/trace_7.bin", "/abs/reports_7.bin"});
+  std::string path = TempPath("manifest_rt.bin");
+  ASSERT_TRUE(WriteShardManifestFile(path, m).ok());
+  Result<ShardManifest> back = ReadShardManifestFile(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().epoch, 42u);
+  ASSERT_EQ(back.value().shards.size(), 3u);
+  EXPECT_EQ(back.value().shards[1].shard_id, 2u);
+  EXPECT_EQ(back.value().shards[1].trace_file, "sub/trace_2.bin");
+  EXPECT_EQ(back.value().shards[2].reports_file, "/abs/reports_7.bin");
+}
+
+TEST(WireManifest, RejectsDuplicateShardIdAndLateEpochRecord) {
+  ShardManifest m;
+  m.shards.push_back({3, "a", "b"});
+  m.shards.push_back({3, "c", "d"});
+  std::string path = TempPath("manifest_dup.bin");
+  ASSERT_TRUE(WriteShardManifestFile(path, m).ok());
+  Result<ShardManifest> back = ReadShardManifestFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("duplicate shard id"), std::string::npos) << back.error();
+
+  // Epoch record after a shard record: same positional-header rule as everywhere else.
+  std::string shard;
+  AppendU32(&shard, 1);
+  AppendU32(&shard, 1);
+  shard += "t";
+  AppendU32(&shard, 1);
+  shard += "r";
+  std::string epoch;
+  AppendU64(&epoch, 5);
+  std::string bytes = Header(4);
+  AppendRecord(&bytes, 2, shard);
+  AppendRecord(&bytes, 1, epoch);
+  AppendRecord(&bytes, 0, "");
+  std::string late_path = TempPath("manifest_late_epoch.bin");
+  WriteFileBytes(late_path, bytes);
+  Result<ShardManifest> late = ReadShardManifestFile(late_path);
+  ASSERT_FALSE(late.ok());
+  EXPECT_NE(late.error().find("out-of-order epoch record"), std::string::npos)
+      << late.error();
+}
+
 // An AppendReports error must leave dst untouched (no half-merged epochs).
 TEST(WireReports, AppendReportsIsAtomicOnRidCollision) {
   Reports dst = SampleReports();
