@@ -3,15 +3,16 @@
 // memory ceiling are tracked PR over PR.
 //
 // Per workload the harness serves one epoch, spills it to wire-format files, then audits
-// the files twice: streamed (trace payloads paged in under a budget, peak residency
-// reported by the ChunkBudget) and fully in-memory. The streamed audit runs FIRST because
-// ru_maxrss is a process-lifetime high-water mark — ordering it first means the reported
-// streamed RSS was not inflated by the in-memory trace materialization. Correctness
-// cross-checks ride along: both paths must accept and agree on the final state.
+// the files twice: streamed (trace payloads AND op-log contents paged in under ONE
+// budget, peak residency reported by the ChunkBudget) and fully in-memory. The streamed
+// audit runs FIRST because ru_maxrss is a process-lifetime high-water mark — ordering it
+// first means the reported streamed RSS was not inflated by the in-memory trace/reports
+// materialization. Correctness cross-checks ride along: both paths must accept and agree
+// on the final state, and the streamed peak must respect max(budget, largest single
+// admission) — one chunk bigger than the whole budget is legitimately admitted alone.
 #include <sys/resource.h>
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,25 +28,6 @@ namespace {
 // Default streamed-audit budget; OROCHI_AUDIT_BUDGET overrides.
 constexpr size_t kDefaultBudget = 256 * 1024;
 
-// The real loader plus a high-water mark of the largest single chunk, for the budget
-// check: a chunk bigger than the whole budget is legitimately admitted alone (the
-// oversized-chunk path), so the invariant is peak <= max(budget, largest chunk).
-class ChunkSizeProbe : public FileTraceChunkLoader {
- public:
-  using FileTraceChunkLoader::FileTraceChunkLoader;
-
-  void OnChunkResident(uint64_t bytes) override {
-    uint64_t cur = largest_.load(std::memory_order_relaxed);
-    while (bytes > cur &&
-           !largest_.compare_exchange_weak(cur, bytes, std::memory_order_relaxed)) {
-    }
-  }
-  uint64_t largest_chunk_bytes() const { return largest_.load(); }
-
- private:
-  std::atomic<uint64_t> largest_{0};
-};
-
 long PeakRssKb() {
   struct rusage ru;
   getrusage(RUSAGE_SELF, &ru);
@@ -56,10 +38,12 @@ struct Row {
   std::string workload;
   size_t requests = 0;
   size_t trace_file_bytes = 0;
-  size_t request_payload_bytes = 0;
+  size_t reports_file_bytes = 0;
+  size_t request_payload_bytes = 0;  // Trace-side bytes the budget pages.
+  uint64_t oplog_payload_bytes = 0;  // Reports-side bytes the budget pages.
   uint64_t budget_bytes = 0;
-  uint64_t peak_resident_bytes = 0;  // ChunkBudget high-water mark (streamed only).
-  uint64_t largest_chunk_bytes = 0;
+  uint64_t peak_resident_bytes = 0;  // ChunkBudget high-water mark: trace + reports.
+  uint64_t largest_admission_bytes = 0;
   double streamed_seconds = 0;
   double in_memory_seconds = 0;
   long rss_after_streamed_kb = 0;
@@ -81,6 +65,7 @@ Row RunOne(const char* name, const Workload& w, const std::string& dir) {
     return row;
   }
   row.trace_file_bytes = served.trace.WireBytes();
+  row.reports_file_bytes = served.reports.WireBytes();
   // Shed the in-memory copies: the point of the comparison is what each *audit* keeps
   // resident, not what the serving harness did.
   served.trace = Trace{};
@@ -90,29 +75,42 @@ Row RunOne(const char* name, const Workload& w, const std::string& dir) {
   if (std::getenv("OROCHI_AUDIT_BUDGET") == nullptr) {
     options.max_resident_bytes = kDefaultBudget;
   }
-  // Chunks well under the budget, so the peak-residency check below is exact (a chunk
-  // larger than the whole budget would legitimately overshoot via the oversized path).
+  // Modest chunks so paging churns; a chunk is charged for its request payloads plus the
+  // op-log contents its checks compare against, and the invariant below uses the
+  // budget's own largest-admission ledger to account for any oversized chunk.
   options.max_group_size = 512;
 
-  StreamTraceSet loader_set;
-  if (Result<uint32_t> r = loader_set.AppendFile(trace_path); !r.ok()) {
-    std::fprintf(stderr, "%s: %s\n", name, r.error().c_str());
+  {
+    StreamTraceSet trace_probe;
+    if (Result<uint32_t> r = trace_probe.AppendFile(trace_path); !r.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name, r.error().c_str());
+      return row;
+    }
+    row.request_payload_bytes = trace_probe.total_request_payload_bytes();
+    StreamReportsSet reports_probe;
+    if (Status st = reports_probe.AppendFile(reports_path); !st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name, st.error().c_str());
+      return row;
+    }
+    row.oplog_payload_bytes = reports_probe.total_log_payload_bytes();
+  }
+
+  Result<uint64_t> resolved_budget = ResolveAuditBudget(options);
+  if (!resolved_budget.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name, resolved_budget.error().c_str());
     return row;
   }
-  row.request_payload_bytes = loader_set.total_request_payload_bytes();
-  ChunkSizeProbe loader(&loader_set);
-  ChunkBudget budget(ResolveAuditBudget(options));
+  ChunkBudget budget(resolved_budget.value());
   row.budget_bytes = budget.max_bytes();
   StreamAuditHooks hooks;
   hooks.budget = &budget;
-  hooks.loader = &loader;
   AuditSession streamed = AuditSession::Open(&w.app, options, w.initial);
   WallTimer stream_wall;
   Result<AuditResult> streamed_result =
       streamed.FeedEpochFilesStreamed(trace_path, reports_path, &hooks);
   row.streamed_seconds = stream_wall.Seconds();
   row.peak_resident_bytes = budget.peak_bytes();
-  row.largest_chunk_bytes = loader.largest_chunk_bytes();
+  row.largest_admission_bytes = budget.largest_acquire_bytes();
   row.rss_after_streamed_kb = PeakRssKb();
   if (!streamed_result.ok() || !streamed_result.value().accepted) {
     std::fprintf(stderr, "%s streamed REJECTED/errored: %s\n", name,
@@ -135,11 +133,13 @@ Row RunOne(const char* name, const Workload& w, const std::string& dir) {
                      InitialStateFingerprint(memory_result.value().final_state);
   std::fprintf(stderr,
                "  %-6s streamed=%.3fs in_memory=%.3fs peak_resident=%llu/%llu bytes "
-               "(%zu on disk) %s\n",
+               "(%zu trace + %llu oplog on disk) %s\n",
                name, row.streamed_seconds, row.in_memory_seconds,
                static_cast<unsigned long long>(row.peak_resident_bytes),
                static_cast<unsigned long long>(row.budget_bytes),
-               row.request_payload_bytes, row.states_match ? "MATCH" : "DIVERGED");
+               row.request_payload_bytes,
+               static_cast<unsigned long long>(row.oplog_payload_bytes),
+               row.states_match ? "MATCH" : "DIVERGED");
   return row;
 }
 
@@ -156,16 +156,18 @@ void EmitJson(const std::vector<Row>& rows) {
     std::fprintf(
         f,
         "    {\"workload\": \"%s\", \"requests\": %zu, \"trace_file_bytes\": %zu,\n"
-        "     \"request_payload_bytes\": %zu, \"budget_bytes\": %llu,\n"
-        "     \"peak_resident_trace_bytes\": %llu, \"largest_chunk_bytes\": %llu,\n"
+        "     \"reports_file_bytes\": %zu, \"request_payload_bytes\": %zu,\n"
+        "     \"oplog_payload_bytes\": %llu, \"budget_bytes\": %llu,\n"
+        "     \"peak_resident_bytes\": %llu, \"largest_admission_bytes\": %llu,\n"
         "     \"streamed_seconds\": %.6f,\n"
         "     \"in_memory_seconds\": %.6f, \"streamed_over_in_memory\": %.3f,\n"
         "     \"peak_rss_after_streamed_kb\": %ld, \"peak_rss_after_in_memory_kb\": %ld,\n"
         "     \"accepted\": %s, \"states_match\": %s}%s\n",
-        r.workload.c_str(), r.requests, r.trace_file_bytes, r.request_payload_bytes,
+        r.workload.c_str(), r.requests, r.trace_file_bytes, r.reports_file_bytes,
+        r.request_payload_bytes, static_cast<unsigned long long>(r.oplog_payload_bytes),
         static_cast<unsigned long long>(r.budget_bytes),
         static_cast<unsigned long long>(r.peak_resident_bytes),
-        static_cast<unsigned long long>(r.largest_chunk_bytes), r.streamed_seconds,
+        static_cast<unsigned long long>(r.largest_admission_bytes), r.streamed_seconds,
         r.in_memory_seconds,
         r.in_memory_seconds > 0 ? r.streamed_seconds / r.in_memory_seconds : 0.0,
         r.rss_after_streamed_kb, r.rss_after_in_memory_kb, r.accepted ? "true" : "false",
@@ -206,9 +208,9 @@ int main() {
                    r.workload.c_str());
       return 1;
     }
-    // A single chunk larger than the whole budget is admitted alone (the oversized-chunk
-    // path), so the enforceable ceiling is max(budget, largest chunk).
-    uint64_t ceiling = std::max(r.budget_bytes, r.largest_chunk_bytes);
+    // A single admission larger than the whole budget runs alone (the oversized-chunk
+    // path), so the enforceable ceiling is max(budget, largest admission).
+    uint64_t ceiling = std::max(r.budget_bytes, r.largest_admission_bytes);
     if (r.budget_bytes > 0 && r.peak_resident_bytes > ceiling) {
       std::fprintf(stderr, "ERROR: %s exceeded the resident-byte budget\n",
                    r.workload.c_str());

@@ -128,28 +128,44 @@ bool RunDemo() {
 
   // --- Verifier side: stream the sharded epoch under a tiny memory budget. ---
   AuditOptions options;
-  options.max_group_size = 64;  // Small chunks so the budget forces real eviction churn.
+  // Small chunks so the budget forces real eviction churn: a chunk is charged for its
+  // request payloads AND the op-log entry contents its checks compare against, so chunks
+  // must stay comfortably under the budget to avoid the oversized-chunk admission path.
+  options.max_group_size = 16;
   if (std::getenv("OROCHI_AUDIT_BUDGET") == nullptr) {
     options.max_resident_bytes = 16 * 1024;
   }
-  ChunkBudget budget(ResolveAuditBudget(options));
+  Result<uint64_t> resolved_budget = ResolveAuditBudget(options);
+  if (!resolved_budget.ok()) {
+    return Fail(resolved_budget.error());
+  }
+  ChunkBudget budget(resolved_budget.value());
   StreamAuditHooks hooks;
   hooks.budget = &budget;
 
   uint64_t spilled_bytes = 0;
+  uint64_t spilled_log_bytes = 0;
   {
     StreamTraceSet probe;
+    StreamReportsSet reports_probe;
     for (const FrontEnd& fe : front_ends) {
       Result<uint32_t> r = probe.AppendFile(fe.trace_path);
       if (!r.ok()) {
         return Fail(r.error());
       }
+      if (Status st = reports_probe.AppendFile(fe.reports_path); !st.ok()) {
+        return Fail(st.error());
+      }
     }
     spilled_bytes = probe.total_request_payload_bytes();
+    spilled_log_bytes = reports_probe.total_log_payload_bytes();
   }
-  std::printf("epoch request payloads on disk: %llu bytes; resident budget: %llu bytes\n",
-              static_cast<unsigned long long>(spilled_bytes),
-              static_cast<unsigned long long>(budget.max_bytes()));
+  std::printf(
+      "epoch on disk: %llu request-payload bytes + %llu op-log bytes; resident budget: "
+      "%llu bytes (covers both)\n",
+      static_cast<unsigned long long>(spilled_bytes),
+      static_cast<unsigned long long>(spilled_log_bytes),
+      static_cast<unsigned long long>(budget.max_bytes()));
 
   AuditSession session = AuditSession::Open(&w.app, options, w.initial);
   Result<AuditResult> r1 = session.FeedShardedEpoch(manifest_path, &hooks);
@@ -159,14 +175,15 @@ bool RunDemo() {
   if (!r1.value().accepted) {
     return Fail("sharded epoch should accept: " + r1.value().reason);
   }
-  std::printf("sharded audit: ACCEPT (%llu groups; peak resident trace bytes %llu <= %llu)\n",
-              static_cast<unsigned long long>(r1.value().stats.num_groups),
-              static_cast<unsigned long long>(budget.peak_bytes()),
-              static_cast<unsigned long long>(budget.max_bytes()));
+  std::printf(
+      "sharded audit: ACCEPT (%llu groups; peak resident trace+reports bytes %llu <= %llu)\n",
+      static_cast<unsigned long long>(r1.value().stats.num_groups),
+      static_cast<unsigned long long>(budget.peak_bytes()),
+      static_cast<unsigned long long>(budget.max_bytes()));
   if (budget.max_bytes() > 0 && budget.peak_bytes() > budget.max_bytes()) {
     return Fail("budget was not honored");
   }
-  if (budget.peak_bytes() >= spilled_bytes) {
+  if (budget.peak_bytes() >= spilled_bytes + spilled_log_bytes) {
     return Fail("streaming never evicted anything (peak == whole epoch)");
   }
 

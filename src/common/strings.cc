@@ -61,4 +61,23 @@ std::string FormatBytes(double bytes) {
   return FormatDouble(v, 1) + unit;
 }
 
+Result<uint64_t> ParseUint64(std::string_view s) {
+  using R = Result<uint64_t>;
+  if (s.empty()) {
+    return R::Error("empty value");
+  }
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return R::Error("not a nonnegative decimal integer");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      return R::Error("value overflows uint64");
+    }
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
 }  // namespace orochi

@@ -2,9 +2,12 @@
 #ifndef SRC_COMMON_STRINGS_H_
 #define SRC_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "src/common/result.h"
 
 namespace orochi {
 
@@ -22,6 +25,11 @@ std::string FormatDouble(double v, int decimals);
 
 // Human-readable byte count, e.g. "7.1KB".
 std::string FormatBytes(double bytes);
+
+// Strict nonnegative decimal parse for configuration values (env variables): the whole
+// string must be digits — no sign, no whitespace, no trailing junk, no overflow. Unlike
+// atoll, a malformed value is an error, never a silent fallback.
+Result<uint64_t> ParseUint64(std::string_view s);
 
 }  // namespace orochi
 

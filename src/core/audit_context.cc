@@ -81,23 +81,40 @@ Status AuditContext::Prepare() {
   return Status::Ok();
 }
 
+Status AuditContext::ScanOpLog(size_t object,
+                               const std::function<Status(const OpRecord&, uint64_t)>& fn) {
+  if (oplog_scanner_ != nullptr) {
+    return oplog_scanner_->Scan(object, fn);
+  }
+  const std::vector<OpRecord>& log = reports_->op_logs[object];
+  for (size_t j = 0; j < log.size(); j++) {
+    if (Status st = fn(log[j], j + 1); !st.ok()) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
 Status AuditContext::BuildRegisterIndexes() {
   register_writes_.resize(reports_->objects.size());
   for (size_t i = 0; i < reports_->objects.size(); i++) {
     if (reports_->objects[i].kind != ObjectKind::kRegister) {
       continue;
     }
-    const auto& log = reports_->op_logs[i];
-    for (size_t j = 0; j < log.size(); j++) {
-      if (log[j].type != StateOpType::kRegisterWrite) {
-        continue;
+    Status st = ScanOpLog(i, [&](const OpRecord& op, uint64_t seqnum) {
+      if (op.type != StateOpType::kRegisterWrite) {
+        return Status::Ok();
       }
-      Result<Value> v = ParseRegisterWriteContents(log[j].contents);
+      Result<Value> v = ParseRegisterWriteContents(op.contents);
       if (!v.ok()) {
         return Status::Error("register log " + std::to_string(i) + " entry " +
-                             std::to_string(j + 1) + ": " + v.error());
+                             std::to_string(seqnum) + ": " + v.error());
       }
-      register_writes_[i].emplace_back(j + 1, std::move(v).value());
+      register_writes_[i].emplace_back(seqnum, std::move(v).value());
+      return Status::Ok();
+    });
+    if (!st.ok()) {
+      return st;
     }
   }
   return Status::Ok();
@@ -108,18 +125,17 @@ Status AuditContext::BuildVersionedKv() {
   if (kv_object_ < 0) {
     return Status::Ok();
   }
-  const auto& log = reports_->op_logs[static_cast<size_t>(kv_object_)];
-  for (size_t j = 0; j < log.size(); j++) {
-    if (log[j].type != StateOpType::kKvSet) {
-      continue;
+  return ScanOpLog(static_cast<size_t>(kv_object_), [&](const OpRecord& op, uint64_t seqnum) {
+    if (op.type != StateOpType::kKvSet) {
+      return Status::Ok();
     }
-    Result<KvSetContents> kv = ParseKvSetContents(log[j].contents);
+    Result<KvSetContents> kv = ParseKvSetContents(op.contents);
     if (!kv.ok()) {
-      return Status::Error("kv log entry " + std::to_string(j + 1) + ": " + kv.error());
+      return Status::Error("kv log entry " + std::to_string(seqnum) + ": " + kv.error());
     }
-    versioned_kv_.AddSet(kv.value().key, j + 1, std::move(kv).value().value);
-  }
-  return Status::Ok();
+    versioned_kv_.AddSet(kv.value().key, seqnum, std::move(kv).value().value);
+    return Status::Ok();
+  });
 }
 
 Status AuditContext::BuildVersionedDb() {
@@ -163,16 +179,16 @@ Status AuditContext::BuildVersionedDb() {
     return Status::Ok();
   }
   // Redo pass (§4.5): replay every logged transaction, stamping query q of log entry s
-  // with ts = s * MAXQ + q. Claimed failures are validated where the engine permits.
-  const auto& log = reports_->op_logs[static_cast<size_t>(db_object_)];
-  db_log_parsed_.reserve(log.size());
-  for (size_t j = 0; j < log.size(); j++) {
-    uint64_t s = j + 1;
-    if (log[j].type != StateOpType::kDbOp) {
+  // with ts = s * MAXQ + q. Claimed failures are validated where the engine permits. The
+  // log is consumed as one forward scan, so the out-of-core path can page its contents in
+  // segment by segment instead of keeping the (typically dominant) SQL text resident.
+  db_log_parsed_.reserve(reports_->op_logs[static_cast<size_t>(db_object_)].size());
+  return ScanOpLog(static_cast<size_t>(db_object_), [&](const OpRecord& op, uint64_t s) {
+    if (op.type != StateOpType::kDbOp) {
       db_log_parsed_.emplace_back();  // Type mismatch is caught by CheckOp if referenced.
-      continue;
+      return Status::Ok();
     }
-    Result<DbContents> dc = ParseDbContents(log[j].contents);
+    Result<DbContents> dc = ParseDbContents(op.contents);
     if (!dc.ok()) {
       return Status::Error("db log entry " + std::to_string(s) + ": " + dc.error());
     }
@@ -199,7 +215,7 @@ Status AuditContext::BuildVersionedDb() {
         }
       }
       db_log_parsed_.push_back(std::move(contents));
-      continue;
+      return Status::Ok();
     }
     for (size_t q = 1; q <= contents.sql.size(); q++) {
       uint64_t ts = VersionedDatabase::MakeTimestamp(s, q);
@@ -220,8 +236,8 @@ Status AuditContext::BuildVersionedDb() {
       redo_affected_[ts] = r.value().affected;
     }
     db_log_parsed_.push_back(std::move(contents));
-  }
-  return Status::Ok();
+    return Status::Ok();
+  });
 }
 
 uint32_t AuditContext::OpCount(RequestId rid) const {

@@ -15,6 +15,7 @@
 #define SRC_CORE_AUDIT_CONTEXT_H_
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -85,10 +86,34 @@ struct AuditWorkerState {
   std::string scratch;
 };
 
+// Forward-scan access to one object's op log with entry contents materialized. The
+// in-memory path never installs one (the resident Reports backs scans directly); the
+// out-of-core path installs a segment-paging scanner (src/stream/reports_index.h) before
+// Prepare(), so the versioned-store builds read spilled log contents in bounded pages
+// charged against the same budget as trace payloads. The entries handed to `fn` must be
+// identical to the resident log's — the scanner only changes *when* contents bytes are
+// resident, never what the builds see.
+class OpLogScanner {
+ public:
+  virtual ~OpLogScanner() = default;
+  // Invokes fn(entry, seqnum) for every entry of `object`'s log in order (seqnum is
+  // 1-based). A non-ok Status from fn aborts the scan and is returned; the scanner's own
+  // I/O failures are also returned (callers distinguish them via io_failed()).
+  virtual Status Scan(size_t object,
+                      const std::function<Status(const OpRecord&, uint64_t)>& fn) = 0;
+  // True when the last Scan error came from paging (a file-level problem, not an audit
+  // verdict) — mirrors AuditExecOutcome::gate_failed.
+  virtual bool io_failed() const { return false; }
+};
+
 class AuditContext {
  public:
   AuditContext(const Trace* trace, const Reports* reports, const Application* app,
                const InitialState* initial, AuditOptions options);
+
+  // Installs the op-log scanner the versioned-store builds read spilled contents through.
+  // Must be called before Prepare(); null (the default) scans the resident reports.
+  void set_oplog_scanner(OpLogScanner* scanner) { oplog_scanner_ = scanner; }
 
   // Balanced-trace check, ProcessOpReports, and the versioned-storage builds. An error
   // means the audit REJECTs with that reason. On success the versioned stores are frozen:
@@ -142,6 +167,11 @@ class AuditContext {
   InitialState ExtractFinalState() const;
 
  private:
+  // Forward scan over one op log: via the installed scanner (spilled contents paged in
+  // per segment) or directly over the resident reports. Shared by the three builds.
+  Status ScanOpLog(size_t object,
+                   const std::function<Status(const OpRecord&, uint64_t)>& fn);
+
   Status BuildRegisterIndexes();
   Status BuildVersionedKv();
   Status BuildVersionedDb();
@@ -156,6 +186,7 @@ class AuditContext {
   const Application* app_;
   const InitialState* initial_;
   AuditOptions options_;
+  OpLogScanner* oplog_scanner_ = nullptr;
 
   ProcessedReports processed_;
   std::unordered_map<RequestId, const TraceEvent*> request_events_;

@@ -84,6 +84,17 @@ AuditPlan PlanAuditTasks(AuditContext* ctx, const Reports& reports, const Applic
 AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
                                   const AuditOptions& options, const AuditPlan& plan,
                                   AuditTaskGate* gate) {
+  Result<size_t> threads = ResolveAuditThreads(options);
+  if (!threads.ok()) {
+    // A malformed OROCHI_AUDIT_THREADS is a configuration error, not an audit verdict;
+    // gate_failed routes it out of the verdict path (callers pre-validate, so this is a
+    // backstop for direct engine users).
+    AuditExecOutcome out;
+    out.fail_order = 0;
+    out.fail_reason = threads.error();
+    out.gate_failed = true;
+    return out;
+  }
   const std::vector<AuditTask>& tasks = plan.tasks;
   // Each task accumulates into its own stats block; blocks merge in walk order afterwards,
   // so merged stats (group_stats in particular) are independent of scheduling.
@@ -128,7 +139,7 @@ AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
     for (size_t i = 0; i < tasks.size(); i++) {
       (tasks[i].serial ? serial_tasks : pool_tasks).push_back(i);
     }
-    const size_t num_threads = ResolveAuditThreads(options);
+    const size_t num_threads = threads.value();
     if (num_threads <= 1 || pool_tasks.size() <= 1) {
       for (size_t i : pool_tasks) {
         run_task(i);

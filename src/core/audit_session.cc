@@ -26,6 +26,11 @@ Status AuditSession::SaveState(const std::string& path) const {
 
 Result<AuditResult> AuditSession::FeedEpochFiles(const std::string& trace_path,
                                                  const std::string& reports_path) {
+  // Config errors (malformed OROCHI_AUDIT_THREADS) surface as a hard error before any
+  // file is read — the epoch is unconsumed, like any other error Result.
+  if (Result<size_t> threads = ResolveAuditThreads(options_); !threads.ok()) {
+    return Result<AuditResult>::Error(threads.error());
+  }
   Result<Trace> trace = ReadTraceFile(trace_path);
   if (!trace.ok()) {
     return Result<AuditResult>::Error(trace.error());
@@ -52,8 +57,14 @@ void AuditSession::CommitAccepted(AuditContext* ctx, AuditResult* out) {
 // with the out-of-core streaming path so both are deterministic in lockstep. On ACCEPT,
 // final_state chains into the next FeedEpoch call.
 AuditResult AuditSession::FeedEpoch(const Trace& trace, const Reports& reports) {
-  epochs_fed_++;
   AuditResult out;
+  // FeedEpoch has no error channel, so a malformed OROCHI_AUDIT_THREADS reports as a
+  // rejection whose reason names the config problem; the epoch is not consumed.
+  if (Result<size_t> threads = ResolveAuditThreads(options_); !threads.ok()) {
+    out.reason = threads.error();
+    return out;
+  }
+  epochs_fed_++;
   AuditContext ctx(&trace, &reports, app_, &state_, options_);
   if (Status st = ctx.Prepare(); !st.ok()) {
     out.reason = st.error();

@@ -4,24 +4,32 @@
 #include <thread>
 #include <utility>
 
+#include "src/common/strings.h"
 #include "src/common/timer.h"
 #include "src/core/audit_session.h"
 #include "src/core/reexec.h"
 
 namespace orochi {
 
-size_t ResolveAuditThreads(const AuditOptions& options) {
+Result<size_t> ResolveAuditThreads(const AuditOptions& options) {
   if (options.num_threads > 0) {
     return options.num_threads;
   }
   if (const char* env = std::getenv("OROCHI_AUDIT_THREADS")) {
-    long v = std::atol(env);
-    if (v > 0) {
-      return static_cast<size_t>(v);
+    Result<uint64_t> v = ParseUint64(env);
+    if (!v.ok()) {
+      // A malformed thread count must not silently change how the audit runs: it is a
+      // config error the caller reports before consuming an epoch.
+      return Result<size_t>::Error("config: OROCHI_AUDIT_THREADS='" + std::string(env) +
+                                   "' is not a valid thread count (" + v.error() + ")");
     }
+    if (v.value() > 0) {
+      return static_cast<size_t>(v.value());
+    }
+    // An explicit 0 means auto, exactly like AuditOptions::num_threads == 0.
   }
   unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : hc;
+  return static_cast<size_t>(hc == 0 ? 1 : hc);
 }
 
 Auditor::Auditor(const Application* app, AuditOptions options)

@@ -25,8 +25,11 @@ struct AuditResult {
 };
 
 // Worker-thread count an AuditOptions resolves to: num_threads when nonzero, else the
-// OROCHI_AUDIT_THREADS environment variable, else std::thread::hardware_concurrency().
-size_t ResolveAuditThreads(const AuditOptions& options);
+// OROCHI_AUDIT_THREADS environment variable (0 = auto, like the option), else
+// std::thread::hardware_concurrency(). A set but malformed environment value is a hard
+// configuration error, never a silent fallback — audit entry points surface it before
+// consuming an epoch.
+Result<size_t> ResolveAuditThreads(const AuditOptions& options);
 
 class Auditor {
  public:

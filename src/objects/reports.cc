@@ -1,5 +1,7 @@
 #include "src/objects/reports.h"
 
+#include <utility>
+
 namespace orochi {
 
 int Reports::FindObject(ObjectKind kind, const std::string& name) const {
@@ -11,7 +13,7 @@ int Reports::FindObject(ObjectKind kind, const std::string& name) const {
   return -1;
 }
 
-Status AppendReports(Reports* dst, const Reports& src) {
+Status AppendReports(Reports* dst, const Reports& src, ReportsMergeMap* map) {
   // Validate rid-disjointness up front so an error never leaves dst half-merged.
   for (const auto& [rid, count] : src.op_counts) {
     (void)count;
@@ -39,8 +41,10 @@ Status AppendReports(Reports* dst, const Reports& src) {
     }
     remap[i] = static_cast<size_t>(id);
   }
+  std::vector<uint64_t> seqnum_base(src.objects.size(), 0);
   for (size_t i = 0; i < src.op_logs.size() && i < src.objects.size(); i++) {
     std::vector<OpRecord>& log = dst->op_logs[remap[i]];
+    seqnum_base[i] = log.size();
     log.insert(log.end(), src.op_logs[i].begin(), src.op_logs[i].end());
   }
   for (const auto& [tag, rids] : src.groups) {
@@ -49,6 +53,10 @@ Status AppendReports(Reports* dst, const Reports& src) {
   }
   dst->op_counts.insert(src.op_counts.begin(), src.op_counts.end());
   dst->nondet.insert(src.nondet.begin(), src.nondet.end());
+  if (map != nullptr) {
+    map->object_remap = std::move(remap);
+    map->seqnum_base = std::move(seqnum_base);
+  }
   return Status::Ok();
 }
 

@@ -46,13 +46,25 @@ struct Reports {
   size_t WireBytes(bool nondet_only = false) const;
 };
 
+// How AppendReports folded `src` into `dst`: src object id i landed at dst object id
+// object_remap[i], and src's log entries for i were appended after the first
+// seqnum_base[i] entries of the dst log (so src seqnum s became dst seqnum
+// seqnum_base[i] + s). The out-of-core reports index uses this to remap per-entry byte
+// locations alongside the skeleton merge.
+struct ReportsMergeMap {
+  std::vector<size_t> object_remap;
+  std::vector<uint64_t> seqnum_base;
+};
+
 // Appends a later epoch's reports onto `dst`, producing the reports a single continuous
 // recording over both periods would have handed the verifier: per-object op logs
 // concatenate in epoch order (object ids are remapped by descriptor), groups with the same
 // control-flow tag merge, and the per-request maps union. Errors when a requestID appears
 // in both epochs — epoch traces must not share rids if their concatenation is to stay
-// balanced. Used to cross-check an epoch-chained AuditSession against one monolithic audit.
-Status AppendReports(Reports* dst, const Reports& src);
+// balanced. Used to cross-check an epoch-chained AuditSession against one monolithic
+// audit, and (with `map`) by the sharded out-of-core merge. `map`, when non-null, is
+// filled with the applied remapping; untouched on error.
+Status AppendReports(Reports* dst, const Reports& src, ReportsMergeMap* map = nullptr);
 
 }  // namespace orochi
 

@@ -22,12 +22,12 @@ constexpr size_t kRecordFrameBytes = 1 /*type*/ + 8 /*length*/;
 constexpr uint8_t kRecRequest = wire::kTraceRecRequest;
 constexpr uint8_t kRecResponse = wire::kTraceRecResponse;
 constexpr uint8_t kRecShardInfo = wire::kTraceRecShardInfo;
-// Reports section record types.
-constexpr uint8_t kRecObject = 1;
-constexpr uint8_t kRecOpLog = 2;
-constexpr uint8_t kRecGroup = 3;
-constexpr uint8_t kRecOpCounts = 4;
-constexpr uint8_t kRecNondet = 5;
+// Reports section record types (public aliases live in wire:: for the streaming index).
+constexpr uint8_t kRecObject = wire::kReportsRecObject;
+constexpr uint8_t kRecOpLog = wire::kReportsRecOpLog;
+constexpr uint8_t kRecGroup = wire::kReportsRecGroup;
+constexpr uint8_t kRecOpCounts = wire::kReportsRecOpCounts;
+constexpr uint8_t kRecNondet = wire::kReportsRecNondet;
 // State section record types.
 constexpr uint8_t kRecRegisters = 1;
 constexpr uint8_t kRecKv = 2;
@@ -116,6 +116,14 @@ struct Cursor {
       return false;
     }
     s->assign(reinterpret_cast<const char*>(p) + pos, len);
+    pos += len;
+    return true;
+  }
+  bool SkipStr() {
+    uint32_t len;
+    if (!TakeU32(&len) || pos + len > n) {
+      return false;
+    }
     pos += len;
     return true;
   }
@@ -381,20 +389,19 @@ void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
   sink->WriteEnd();
 }
 
-// Cross-record state for one reports read. Beyond the single-occurrence op-counts flag,
-// it enforces the object table's header discipline: object records declare the id space
-// every later record indexes into, so they must all precede the first non-object record
-// (out-of-order declarations could retroactively legitimize an op-log already rejected),
-// and no (kind, name) descriptor may be declared twice (FindObject resolves a descriptor
-// to one id; a duplicate would let two distinct byte streams decode to the same Reports).
-struct ReportsReadState {
-  bool saw_op_counts = false;
-  bool saw_non_object = false;
-  std::set<std::pair<uint8_t, std::string>> declared;
-};
+}  // namespace
 
-Status DecodeReportsRecord(uint8_t type, const std::string& payload, const std::string& path,
-                           ReportsReadState* state, Reports* out) {
+// One decoder for both the in-memory reader and the streaming index (declared in the
+// header; ReportsDecodeState carries the cross-record validation). Beyond the
+// single-occurrence op-counts flag, it enforces the object table's header discipline:
+// object records declare the id space every later record indexes into, so they must all
+// precede the first non-object record (out-of-order declarations could retroactively
+// legitimize an op-log already rejected), and no (kind, name) descriptor may be declared
+// twice (FindObject resolves a descriptor to one id; a duplicate would let two distinct
+// byte streams decode to the same Reports).
+Status DecodeReportsRecordPayload(uint8_t type, const std::string& payload,
+                                  const std::string& path, ReportsDecodeState* state,
+                                  Reports* out) {
   Cursor c = MakeCursor(payload);
   if (type != kRecObject) {
     state->saw_non_object = true;
@@ -546,6 +553,48 @@ Status DecodeReportsRecord(uint8_t type, const std::string& payload, const std::
                            " in " + path);
   }
 }
+
+std::vector<OpLogEntrySpan> IndexOpLogEntries(const std::string& payload) {
+  std::vector<OpLogEntrySpan> spans;
+  Cursor c = MakeCursor(payload);
+  uint32_t object = 0;
+  uint64_t count = 0;
+  if (!c.TakeU32(&object) || !c.TakeU64(&count) ||
+      !c.CountFits(count, 8 + 4 + 1 + 4)) {
+    return spans;
+  }
+  spans.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; i++) {
+    OpLogEntrySpan span;
+    span.offset = c.pos;
+    uint64_t rid = 0;
+    uint32_t opnum = 0;
+    uint8_t optype = 0;
+    if (!c.TakeU64(&rid) || !c.TakeU32(&opnum) || !c.TakeU8(&optype) || !c.SkipStr()) {
+      spans.clear();
+      return spans;
+    }
+    span.bytes = c.pos - span.offset;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+Status DecodeOpLogEntry(const char* data, size_t size, OpRecord* out) {
+  Cursor c{reinterpret_cast<const unsigned char*>(data), size};
+  uint8_t optype = 0;
+  if (!c.TakeU64(&out->rid) || !c.TakeU32(&out->opnum) || !c.TakeU8(&optype) ||
+      !c.TakeStr(&out->contents) || !c.AtEnd()) {
+    return Status::Error("wire: malformed op-log entry slice");
+  }
+  if (optype > static_cast<uint8_t>(StateOpType::kDbOp)) {
+    return Status::Error("wire: unknown op type in op-log entry slice");
+  }
+  out->type = static_cast<StateOpType>(optype);
+  return Status::Ok();
+}
+
+namespace {
 
 // --- state section encode ---
 
@@ -1031,17 +1080,81 @@ Status ReportsWriter::WriteFile(const std::string& path, const Reports& reports)
 }
 
 Result<Reports> ReportsReader::ReadFile(const std::string& path) {
-  Reports out;
-  ReportsReadState state;
-  Status st = ReadSectionFile(path, wire::Section::kReports,
-                              [&](uint8_t type, const std::string& payload) {
-                                return DecodeReportsRecord(type, payload, path,
-                                                           &state, &out);
-                              });
-  if (!st.ok()) {
+  // Drives the same streaming reader + per-record decoder the out-of-core index uses, so
+  // the two paths accept exactly the same byte streams with exactly the same errors.
+  ReportsRecordReader reader;
+  if (Status st = reader.Open(path); !st.ok()) {
     return Result<Reports>::Error(st.error());
   }
+  Reports out;
+  ReportsDecodeState state;
+  uint8_t type = 0;
+  std::string payload;
+  while (true) {
+    Result<bool> more = reader.Next(&type, &payload);
+    if (!more.ok()) {
+      return Result<Reports>::Error(more.error());
+    }
+    if (!more.value()) {
+      break;
+    }
+    if (Status st = DecodeReportsRecordPayload(type, payload, path, &state, &out);
+        !st.ok()) {
+      return Result<Reports>::Error(st.error());
+    }
+  }
   return out;
+}
+
+ReportsRecordReader::~ReportsRecordReader() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+Status ReportsRecordReader::Open(const std::string& path) {
+  if (file_ != nullptr) {
+    return Status::Error("wire: ReportsRecordReader already open");
+  }
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::Error("wire: cannot open " + path);
+  }
+  path_ = path;
+  Status st = ReadHeaderFromFile(file_, wire::Section::kReports, path);
+  if (!st.ok()) {
+    return CloseFile(&file_, path, st);
+  }
+  pos_ = kHeaderBytes;
+  return Status::Ok();
+}
+
+Result<bool> ReportsRecordReader::Next(uint8_t* type, std::string* payload) {
+  if (done_) {
+    // A clean end stays a clean end on repeated calls; a failure stays sticky.
+    if (!error_.empty()) {
+      return Result<bool>::Error(error_);
+    }
+    return false;
+  }
+  if (file_ == nullptr) {
+    return Result<bool>::Error("wire: ReportsRecordReader is not open");
+  }
+  Result<bool> more = ReadRecordFromFile(file_, path_, type, payload);
+  if (!more.ok() || !more.value()) {
+    done_ = true;
+    Status st =
+        CloseFile(&file_, path_, more.ok() ? Status::Ok() : Status::Error(more.error()));
+    if (!st.ok()) {
+      error_ = st.error();
+      return Result<bool>::Error(error_);
+    }
+    return false;
+  }
+  last_payload_offset_ = pos_ + kRecordFrameBytes;
+  last_payload_bytes_ = payload->size();
+  pos_ = last_payload_offset_ + payload->size();
+  return true;
 }
 
 // --- InitialState files ---

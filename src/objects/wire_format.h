@@ -20,7 +20,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/result.h"
@@ -48,6 +50,15 @@ inline constexpr uint8_t kTraceRecResponse = 2;
 // as the first record of the section; readers reject it anywhere else, and reject a
 // second one — an in-section header is positional, like the envelope header itself.
 inline constexpr uint8_t kTraceRecShardInfo = 3;
+
+// Reports-section record types, public because the out-of-core audit re-reads slices of
+// individual op-log records by (offset, length) long after the streaming pass that
+// indexed them (src/stream/reports_index.h).
+inline constexpr uint8_t kReportsRecObject = 1;
+inline constexpr uint8_t kReportsRecOpLog = 2;
+inline constexpr uint8_t kReportsRecGroup = 3;
+inline constexpr uint8_t kReportsRecOpCounts = 4;
+inline constexpr uint8_t kReportsRecNondet = 5;
 
 }  // namespace wire
 
@@ -136,6 +147,68 @@ class ReportsReader {
  public:
   static Result<Reports> ReadFile(const std::string& path);
 };
+
+// Streaming reports-section reader mirroring TraceReader: yields raw records together
+// with their payload byte locations, so the out-of-core audit can build per-object
+// op-log offset indexes during one forward pass and point-read entry slices later.
+class ReportsRecordReader {
+ public:
+  ReportsRecordReader() = default;
+  ~ReportsRecordReader();
+  ReportsRecordReader(const ReportsRecordReader&) = delete;
+  ReportsRecordReader& operator=(const ReportsRecordReader&) = delete;
+
+  Status Open(const std::string& path);
+  // True: *type/*payload hold the next record. False: clean end of section (and on any
+  // further calls). Error: corrupt/truncated file (sticky across calls).
+  Result<bool> Next(uint8_t* type, std::string* payload);
+
+  // Location of the record the last successful Next() returned: the file offset of the
+  // record's payload (just past the 9-byte frame) and its byte length.
+  uint64_t last_payload_offset() const { return last_payload_offset_; }
+  uint64_t last_payload_bytes() const { return last_payload_bytes_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  bool done_ = false;
+  std::string error_;  // Nonempty once a read has failed.
+  uint64_t pos_ = 0;   // File offset of the next record frame.
+  uint64_t last_payload_offset_ = 0;
+  uint64_t last_payload_bytes_ = 0;
+};
+
+// Cross-record validation state for one reports read: op-counts must occur at most once,
+// and object records form an in-section header block (all before the first non-object
+// record, no duplicate descriptor). Public so the in-memory ReadFile and the streaming
+// index decode through the exact same code — one validator, identical error text.
+struct ReportsDecodeState {
+  bool saw_op_counts = false;
+  bool saw_non_object = false;
+  std::set<std::pair<uint8_t, std::string>> declared;
+};
+
+// Decodes one reports record payload into *out exactly as ReadReportsFile would.
+Status DecodeReportsRecordPayload(uint8_t type, const std::string& payload,
+                                  const std::string& path, ReportsDecodeState* state,
+                                  Reports* out);
+
+// Byte span of one op-log entry inside an op-log record payload, relative to the payload
+// start: the entry's frame (rid + opnum + type + length-prefixed contents) begins at
+// `offset` and spans `bytes`. Valid only for a payload DecodeReportsRecordPayload
+// accepted; the spans of consecutive entries are contiguous.
+struct OpLogEntrySpan {
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+};
+
+// Walks a validated op-log record payload and returns each entry's span, in log order.
+std::vector<OpLogEntrySpan> IndexOpLogEntries(const std::string& payload);
+
+// Decodes one op-log entry frame (a single OpLogEntrySpan's bytes) exactly as the reports
+// reader would. The out-of-core audit uses this to materialize an entry from a point read
+// at an offset recorded during the streaming pass.
+Status DecodeOpLogEntry(const char* data, size_t size, OpRecord* out);
 
 inline Status WriteReportsFile(const std::string& path, const Reports& reports) {
   return ReportsWriter::WriteFile(path, reports);

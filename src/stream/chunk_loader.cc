@@ -8,21 +8,26 @@
 #include <string>
 #include <utility>
 
+#include "src/common/strings.h"
 #include "src/objects/wire_format.h"
+#include "src/stream/reports_index.h"
 
 namespace orochi {
 
-uint64_t ResolveAuditBudget(const AuditOptions& options) {
+Result<uint64_t> ResolveAuditBudget(const AuditOptions& options) {
   if (options.max_resident_bytes > 0) {
-    return options.max_resident_bytes;
+    return static_cast<uint64_t>(options.max_resident_bytes);
   }
   if (const char* env = std::getenv("OROCHI_AUDIT_BUDGET")) {
-    long long v = std::atoll(env);
-    if (v > 0) {
-      return static_cast<uint64_t>(v);
+    Result<uint64_t> v = ParseUint64(env);
+    if (!v.ok()) {
+      // A malformed budget must not silently audit unbounded: it is a config error.
+      return Result<uint64_t>::Error("config: OROCHI_AUDIT_BUDGET='" + std::string(env) +
+                                     "' is not a valid byte budget (" + v.error() + ")");
     }
+    return v;  // 0 keeps its documented meaning: unlimited.
   }
-  return 0;
+  return static_cast<uint64_t>(0);
 }
 
 void ChunkBudget::Acquire(uint64_t bytes) {
@@ -31,6 +36,9 @@ void ChunkBudget::Acquire(uint64_t bytes) {
   used_ += bytes;
   if (used_ > peak_) {
     peak_ = used_;
+  }
+  if (bytes > largest_acquire_) {
+    largest_acquire_ = bytes;
   }
 }
 
@@ -45,6 +53,11 @@ void ChunkBudget::Release(uint64_t bytes) {
 uint64_t ChunkBudget::peak_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return peak_;
+}
+
+uint64_t ChunkBudget::largest_acquire_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return largest_acquire_;
 }
 
 FileTraceChunkLoader::FileTraceChunkLoader(const StreamTraceSet* set)
@@ -120,6 +133,115 @@ void FileTraceChunkLoader::Evict(const StreamTraceSet& set, size_t index,
   } else {
     event->body.clear();
     event->body.shrink_to_fit();
+  }
+}
+
+FileReportsChunkLoader::FileReportsChunkLoader(const StreamReportsSet* set)
+    : fds_(set->num_files(), -1) {}
+
+FileReportsChunkLoader::~FileReportsChunkLoader() {
+  for (int fd : fds_) {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+}
+
+Status FileReportsChunkLoader::Load(StreamReportsSet* set, size_t object,
+                                    uint64_t first_seqnum, uint64_t count) {
+  // Split the range into maximal file-contiguous runs (entries merged from different
+  // shard files are contiguous per file but not across them) — one pread per run.
+  uint64_t start = first_seqnum;
+  const uint64_t end = first_seqnum + count;
+  while (start < end) {
+    const OpLogEntryLoc& head = set->loc(object, start);
+    uint64_t run = 1;
+    while (start + run < end) {
+      const OpLogEntryLoc& prev = set->loc(object, start + run - 1);
+      const OpLogEntryLoc& next = set->loc(object, start + run);
+      if (next.file != head.file || next.offset != prev.offset + prev.bytes) {
+        break;
+      }
+      run++;
+    }
+    if (Status st = LoadRun(set, object, start, run); !st.ok()) {
+      Evict(set, object, first_seqnum, start - first_seqnum);
+      return st;
+    }
+    start += run;
+  }
+  return Status::Ok();
+}
+
+Status FileReportsChunkLoader::LoadRun(StreamReportsSet* set, size_t object,
+                                       uint64_t first_seqnum, uint64_t count) {
+  const OpLogEntryLoc& head = set->loc(object, first_seqnum);
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < count; i++) {
+    total += set->loc(object, first_seqnum + i).bytes;
+  }
+  int fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (head.file >= fds_.size()) {
+      // The set driving the audit can be larger than the one this loader was sized from
+      // (a hooks loader built over a probe set while FeedShardedEpoch merges N files).
+      fds_.resize(set->num_files(), -1);
+    }
+    fd = fds_[head.file];
+    if (fd < 0) {
+      fd = ::open(set->file_path(head.file).c_str(), O_RDONLY);
+      if (fd < 0) {
+        return Status::Error("stream: cannot reopen " + set->file_path(head.file) +
+                             " for op-log load");
+      }
+      fds_[head.file] = fd;
+    }
+  }
+  std::string frames(static_cast<size_t>(total), '\0');
+  size_t done = 0;
+  while (done < frames.size()) {
+    ssize_t n = ::pread(fd, &frames[done], frames.size() - done,
+                        static_cast<off_t>(head.offset + done));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return Status::Error("stream: short read at offset " + std::to_string(head.offset) +
+                           " in " + set->file_path(head.file));
+    }
+    done += static_cast<size_t>(n);
+  }
+  // Decode each frame and verify it still matches the skeleton entry it claims to be —
+  // a reports file mutated mid-audit surfaces as an I/O error, never as misattribution.
+  std::vector<OpRecord>& log = set->mutable_skeleton()->op_logs[object];
+  size_t pos = 0;
+  for (uint64_t i = 0; i < count; i++) {
+    const OpLogEntryLoc& loc = set->loc(object, first_seqnum + i);
+    OpRecord decoded;
+    Status st = DecodeOpLogEntry(frames.data() + pos, static_cast<size_t>(loc.bytes),
+                                 &decoded);
+    pos += static_cast<size_t>(loc.bytes);
+    OpRecord& entry = log[static_cast<size_t>(first_seqnum - 1 + i)];
+    if (!st.ok() || decoded.rid != entry.rid || decoded.opnum != entry.opnum ||
+        decoded.type != entry.type) {
+      Evict(set, object, first_seqnum, i);
+      return Status::Error("stream: " + set->file_path(head.file) +
+                           " changed during the audit: op-log entry mismatch at offset " +
+                           std::to_string(loc.offset));
+    }
+    entry.contents = std::move(decoded.contents);
+  }
+  return Status::Ok();
+}
+
+void FileReportsChunkLoader::Evict(StreamReportsSet* set, size_t object,
+                                   uint64_t first_seqnum, uint64_t count) {
+  std::vector<OpRecord>& log = set->mutable_skeleton()->op_logs[object];
+  for (uint64_t i = 0; i < count; i++) {
+    OpRecord& entry = log[static_cast<size_t>(first_seqnum - 1 + i)];
+    entry.contents.clear();
+    entry.contents.shrink_to_fit();
   }
 }
 

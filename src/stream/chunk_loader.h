@@ -21,9 +21,13 @@
 
 namespace orochi {
 
+class StreamReportsSet;  // Spilled per-object op-log index (src/stream/reports_index.h).
+
 // Budget (bytes) an AuditOptions resolves to for streamed audits: max_resident_bytes when
-// nonzero, else the OROCHI_AUDIT_BUDGET environment variable, else 0 (unlimited).
-uint64_t ResolveAuditBudget(const AuditOptions& options);
+// nonzero, else the OROCHI_AUDIT_BUDGET environment variable, else 0 (unlimited). A set
+// but malformed environment value (non-numeric, signed, trailing junk, overflow) is a
+// hard configuration error, never a silent fallback to unlimited.
+Result<uint64_t> ResolveAuditBudget(const AuditOptions& options);
 
 class ChunkBudget {
  public:
@@ -38,6 +42,10 @@ class ChunkBudget {
   uint64_t max_bytes() const { return max_; }
   // High-water mark of resident bytes, for benches and budget assertions in tests.
   uint64_t peak_bytes() const;
+  // Largest single Acquire seen: the enforceable residency ceiling is
+  // max(max_bytes, largest_acquire_bytes), since one admission bigger than the whole
+  // budget is allowed while nothing else is resident (the oversized-chunk path).
+  uint64_t largest_acquire_bytes() const;
 
  private:
   const uint64_t max_;
@@ -45,6 +53,7 @@ class ChunkBudget {
   std::condition_variable cv_;
   uint64_t used_ = 0;
   uint64_t peak_ = 0;
+  uint64_t largest_acquire_ = 0;
 };
 
 // Pages individual trace-event payloads in and out of the pass-1 skeleton. Load/Evict
@@ -87,6 +96,58 @@ class FileTraceChunkLoader : public TraceChunkLoader {
   void Evict(const StreamTraceSet& set, size_t index, TraceEvent* event) override;
 
  private:
+  std::mutex mu_;         // Guards fds_ (lazy opens); reads themselves are lock-free.
+  std::vector<int> fds_;  // -1 = not yet opened.
+};
+
+// Pages runs of op-log entry *contents* in and out of a reports skeleton
+// (StreamReportsSet, the reports-side mirror of the trace skeleton). A run
+// [first_seqnum, first_seqnum + count) of one object's log is the loader's unit: the
+// chunk gate loads the single entries a chunk's CheckOps will compare against, and the
+// versioned-store builds load forward-scan segments. Entries of one object are only ever
+// touched by one thread at a time (chunks partition rids, and each log entry is claimed
+// by exactly one rid; duplicate-claim reports are rejected before any load), so
+// implementations need no per-entry locking. Virtual so tests can interpose a counting
+// loader that asserts the shared trace+reports budget held.
+class ReportsChunkLoader {
+ public:
+  virtual ~ReportsChunkLoader() = default;
+
+  // Reads the entries' wire frames from their spill file and installs each entry's
+  // contents into the skeleton log, verifying rid/opnum/type still match the skeleton (a
+  // spill file mutated mid-audit surfaces as an I/O error, never as misattribution).
+  virtual Status Load(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
+                      uint64_t count) = 0;
+  // Drops the contents again, returning the entries to skeleton form.
+  virtual void Evict(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
+                     uint64_t count) = 0;
+
+  // Residency brackets, mirroring TraceChunkLoader's: fired around each budget
+  // acquisition that covers reports bytes, with the byte count charged.
+  virtual void OnChunkResident(uint64_t bytes) { (void)bytes; }
+  virtual void OnChunkEvicted(uint64_t bytes) { (void)bytes; }
+};
+
+// The real loader: positional reads against lazily opened descriptors, one pread per
+// maximal file-contiguous run (entries merged from different shard files fall back to one
+// read per contiguous piece).
+class FileReportsChunkLoader : public ReportsChunkLoader {
+ public:
+  // `set` only pre-sizes the descriptor table; Load follows the set it is handed.
+  explicit FileReportsChunkLoader(const StreamReportsSet* set);
+  ~FileReportsChunkLoader() override;
+  FileReportsChunkLoader(const FileReportsChunkLoader&) = delete;
+  FileReportsChunkLoader& operator=(const FileReportsChunkLoader&) = delete;
+
+  Status Load(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
+              uint64_t count) override;
+  void Evict(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
+             uint64_t count) override;
+
+ private:
+  Status LoadRun(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
+                 uint64_t count);
+
   std::mutex mu_;         // Guards fds_ (lazy opens); reads themselves are lock-free.
   std::vector<int> fds_;  // -1 = not yet opened.
 };

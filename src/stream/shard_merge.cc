@@ -107,12 +107,10 @@ Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
     }
     prior_rids.insert(shard_rids.begin(), shard_rids.end());
 
-    Result<Reports> reports = ReadReportsFile(shard.reports_path);
-    if (!reports.ok()) {
-      return R::Error("shard merge: " + reports.error());
-    }
-    if (Status st = AppendReports(&out.reports, reports.value()); !st.ok()) {
-      return R::Error("shard merge: " + shard.reports_path + ": " + st.error());
+    // Streamed: decode errors name the file; merge errors (rid overlap with an earlier
+    // shard's reports) come back "path: reason" from the index itself.
+    if (Status st = out.reports.AppendFile(shard.reports_path); !st.ok()) {
+      return R::Error("shard merge: " + st.error());
     }
     out.shard_ids.push_back(e.id);
   }

@@ -20,13 +20,16 @@
 #include "src/common/result.h"
 #include "src/core/audit_session.h"
 #include "src/objects/reports.h"
+#include "src/stream/reports_index.h"
 #include "src/stream/trace_index.h"
 
 namespace orochi {
 
 struct MergedShards {
-  StreamTraceSet traces;          // Shard traces appended in merge order (pass-1 skeletons).
-  Reports reports;                // AppendReports-merged (object-id remap, group-tag merge).
+  StreamTraceSet traces;     // Shard traces appended in merge order (pass-1 skeletons).
+  // Shard reports streamed into one skeleton + op-log offset index, merged with
+  // AppendReports semantics (object-id remap, group-tag merge) — contents stay on disk.
+  StreamReportsSet reports;
   std::vector<uint32_t> shard_ids;  // Stamped ids in merge order (0 = unstamped).
 };
 

@@ -8,17 +8,23 @@
 
 #include "src/core/audit_session.h"
 #include "src/stream/chunk_loader.h"
+#include "src/stream/reports_index.h"
 #include "src/stream/shard_merge.h"
 #include "src/stream/trace_index.h"
 
 namespace orochi {
 
 struct StreamAuditHooks {
-  // Overrides the payload loader. The hook's Load/Evict see exactly the point reads the
-  // audit performs, bracketed by OnChunkResident/OnChunkEvicted per chunk. Not owned.
+  // Overrides the trace payload loader. The hook's Load/Evict see exactly the point reads
+  // the audit performs, bracketed by OnChunkResident/OnChunkEvicted per chunk. Not owned.
   TraceChunkLoader* loader = nullptr;
-  // Overrides the budget (its max wins over the options/env resolution). Not owned; lets
-  // a bench read peak_bytes() after the audit returns.
+  // Overrides the op-log contents loader (reports side), with the same residency
+  // brackets. A counting pair sharing one tally across both loaders observes the total
+  // resident trace+reports bytes the single budget admitted. Not owned.
+  ReportsChunkLoader* reports_loader = nullptr;
+  // Overrides the budget (its max wins over the options/env resolution). One budget
+  // governs trace payloads AND op-log contents. Not owned; lets a bench read peak_bytes()
+  // after the audit returns.
   ChunkBudget* budget = nullptr;
 };
 

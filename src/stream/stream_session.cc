@@ -1,17 +1,26 @@
 // The out-of-core members of AuditSession (declared in src/core/audit_session.h): the
 // two-pass streaming audit and its sharded-ingestion front door.
 //
-//   pass 1  StreamTraceSet/ShardMerge — stream every spill record, keep a skeleton+index
+//   pass 1  StreamTraceSet + StreamReportsSet / ShardMerge — stream every spill record,
+//           keep trace and reports skeletons + byte-offset indexes (payloads and op-log
+//           contents stay on disk)
+//   prepare AuditContext::Prepare — the versioned-store builds consume each op log as a
+//           forward scan, paged in by SegmentedOpLogScanner in byte-capped segments
 //   pass 2  ExecuteAuditPlan + StreamTaskGate — re-execute chunks whose request payloads
-//           are paged in on demand under the ChunkBudget, evicted as tasks retire
+//           AND claimed op-log entry contents are paged in on demand, both charged to the
+//           one ChunkBudget
 //   pass 3  StreamedCompareOutputs — page response bodies in one at a time (point reads
 //           via the pass-1 index) and compare against the produced outputs, in trace order
 //
 // Verdict, rejection reason, and final_state are bit-identical to the in-memory
 // FeedEpoch/FeedEpochFiles path at every thread count: both paths run the same planner
 // and executor (src/core/audit_plan.h) over the same AuditContext — the streaming path
-// only changes *when* payload bytes are resident, never what the audit computes.
+// only changes *when* payload and contents bytes are resident, never what the audit
+// computes.
+#include <algorithm>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -25,67 +34,159 @@ namespace orochi {
 
 namespace {
 
-// Pages one chunk's request payloads in around its re-execution. Acquire/Release run on
-// the worker thread executing the task, and pool tasks never share a rid (duplicate
-// claims run serially after the join), so the skeleton events a gate call mutates are
+// A maximal run of consecutive-seqnum op-log entries of one object a chunk's
+// re-execution will CheckOp against — the loader's unit, one pread per file-contiguous
+// piece.
+struct ClaimedRun {
+  size_t object;
+  uint64_t first_seqnum;
+  uint64_t count;
+};
+
+// What Acquire computed for a task, kept so Release never redoes the op-map walk.
+struct ClaimedChunk {
+  std::vector<ClaimedRun> runs;
+  uint64_t trace_bytes = 0;
+  uint64_t report_bytes = 0;
+};
+
+// Pages one chunk's request payloads and op-log entry contents in around its
+// re-execution. Acquire/Release run on the worker thread executing the task; pool tasks
+// never share a rid (duplicate claims run serially after the join), and every op-log
+// entry is claimed by exactly one (rid, opnum) — CheckLogs rejects duplicate claims
+// before any task runs — so the skeleton events and log entries a gate call mutates are
 // only ever read by that same thread's RunGroupChunk.
 class StreamTaskGate : public AuditTaskGate {
  public:
-  StreamTaskGate(StreamTraceSet* set, TraceChunkLoader* loader, ChunkBudget* budget)
-      : set_(set), loader_(loader), budget_(budget) {}
+  StreamTaskGate(StreamTraceSet* traces, TraceChunkLoader* trace_loader,
+                 StreamReportsSet* reports, ReportsChunkLoader* reports_loader,
+                 ChunkBudget* budget, const AuditContext* ctx)
+      : traces_(traces), trace_loader_(trace_loader), reports_(reports),
+        reports_loader_(reports_loader), budget_(budget), ctx_(ctx) {}
 
   Status Acquire(const AuditTask& task) override {
-    const uint64_t bytes = TaskBytes(task);
-    budget_->Acquire(bytes);
-    loader_->OnChunkResident(bytes);
-    Trace* skeleton = set_->mutable_skeleton();
+    ClaimedChunk chunk = ClaimChunk(task);
+    // One admission covers both sides: resident trace + reports bytes share the budget.
+    budget_->Acquire(chunk.trace_bytes + chunk.report_bytes);
+    trace_loader_->OnChunkResident(chunk.trace_bytes);
+    reports_loader_->OnChunkResident(chunk.report_bytes);
+    auto roll_back = [&](size_t trace_loaded, size_t runs_loaded) {
+      EvictTracePrefix(task, trace_loaded);
+      EvictRuns(chunk.runs, runs_loaded);
+      trace_loader_->OnChunkEvicted(chunk.trace_bytes);
+      reports_loader_->OnChunkEvicted(chunk.report_bytes);
+      budget_->Release(chunk.trace_bytes + chunk.report_bytes);
+    };
+    Trace* skeleton = traces_->mutable_skeleton();
     for (size_t i = 0; i < task.rids.size(); i++) {
-      size_t index = set_->RequestIndex(task.rids[i]);
+      size_t index = traces_->RequestIndex(task.rids[i]);
       if (index == SIZE_MAX) {
         continue;  // Planning already verified every chunk rid is traced.
       }
-      if (Status st = loader_->Load(*set_, index, &skeleton->events[index]); !st.ok()) {
-        EvictPrefix(task, i + 1);
-        loader_->OnChunkEvicted(bytes);
-        budget_->Release(bytes);
+      if (Status st = trace_loader_->Load(*traces_, index, &skeleton->events[index]);
+          !st.ok()) {
+        roll_back(i + 1, 0);
         return st;
       }
     }
+    for (size_t i = 0; i < chunk.runs.size(); i++) {
+      if (Status st = reports_loader_->Load(reports_, chunk.runs[i].object,
+                                            chunk.runs[i].first_seqnum,
+                                            chunk.runs[i].count);
+          !st.ok()) {
+        roll_back(task.rids.size(), i);
+        return st;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    claimed_[task.order] = std::move(chunk);
     return Status::Ok();
   }
 
   void Release(const AuditTask& task) override {
-    EvictPrefix(task, task.rids.size());
-    const uint64_t bytes = TaskBytes(task);
-    loader_->OnChunkEvicted(bytes);
-    budget_->Release(bytes);
+    ClaimedChunk chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = claimed_.find(task.order);
+      chunk = std::move(it->second);  // Release always pairs with a successful Acquire.
+      claimed_.erase(it);
+    }
+    EvictTracePrefix(task, task.rids.size());
+    EvictRuns(chunk.runs, chunk.runs.size());
+    trace_loader_->OnChunkEvicted(chunk.trace_bytes);
+    reports_loader_->OnChunkEvicted(chunk.report_bytes);
+    budget_->Release(chunk.trace_bytes + chunk.report_bytes);
   }
 
  private:
-  uint64_t TaskBytes(const AuditTask& task) const {
-    uint64_t bytes = 0;
+  // One walk per task: the chunk's trace payload bytes, and the op-log entries its
+  // CheckOps compare contents against — every (rid, opnum) claim of the chunk's rids,
+  // except entries the skeleton types as db ops (their contents were parsed into the
+  // context's db log during Prepare's redo scan, and CheckOp compares the parsed form,
+  // never the raw contents). Entries are sorted and coalesced into consecutive-seqnum
+  // runs so the loader fetches each run with single preads instead of one per entry.
+  ClaimedChunk ClaimChunk(const AuditTask& task) const {
+    ClaimedChunk chunk;
+    const OpMap& op_map = ctx_->processed().op_map;
+    const Reports& skeleton = reports_->skeleton();
+    std::vector<std::pair<size_t, uint64_t>> entries;  // (object, seqnum)
     for (RequestId rid : task.rids) {
-      size_t index = set_->RequestIndex(rid);
+      size_t index = traces_->RequestIndex(rid);
       if (index != SIZE_MAX) {
-        bytes += set_->loc(index).bytes;
+        chunk.trace_bytes += traces_->loc(index).bytes;
+      }
+      const uint32_t m = ctx_->OpCount(rid);
+      for (uint32_t opnum = 1; opnum <= m; opnum++) {
+        OpLocation loc = op_map.Find(rid, opnum);
+        if (!loc.valid() || loc.seqnum == 0 ||
+            loc.object >= skeleton.op_logs.size() ||
+            loc.seqnum > skeleton.op_logs[loc.object].size()) {
+          continue;  // CheckLogs guarantees validity; stay defensive anyway.
+        }
+        if (skeleton.op_logs[loc.object][loc.seqnum - 1].type == StateOpType::kDbOp) {
+          continue;
+        }
+        chunk.report_bytes += reports_->loc(loc.object, loc.seqnum).bytes;
+        entries.emplace_back(loc.object, loc.seqnum);
       }
     }
-    return bytes;
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [object, seqnum] : entries) {
+      if (!chunk.runs.empty() && chunk.runs.back().object == object &&
+          chunk.runs.back().first_seqnum + chunk.runs.back().count == seqnum) {
+        chunk.runs.back().count++;
+      } else {
+        chunk.runs.push_back({object, seqnum, 1});
+      }
+    }
+    return chunk;
   }
 
-  void EvictPrefix(const AuditTask& task, size_t count) {
-    Trace* skeleton = set_->mutable_skeleton();
+  void EvictTracePrefix(const AuditTask& task, size_t count) {
+    Trace* skeleton = traces_->mutable_skeleton();
     for (size_t i = 0; i < count; i++) {
-      size_t index = set_->RequestIndex(task.rids[i]);
+      size_t index = traces_->RequestIndex(task.rids[i]);
       if (index != SIZE_MAX) {
-        loader_->Evict(*set_, index, &skeleton->events[index]);
+        trace_loader_->Evict(*traces_, index, &skeleton->events[index]);
       }
     }
   }
 
-  StreamTraceSet* set_;
-  TraceChunkLoader* loader_;
+  void EvictRuns(const std::vector<ClaimedRun>& runs, size_t count) {
+    for (size_t i = 0; i < count; i++) {
+      reports_loader_->Evict(reports_, runs[i].object, runs[i].first_seqnum,
+                             runs[i].count);
+    }
+  }
+
+  StreamTraceSet* traces_;
+  TraceChunkLoader* trace_loader_;
+  StreamReportsSet* reports_;
+  ReportsChunkLoader* reports_loader_;
   ChunkBudget* budget_;
+  const AuditContext* ctx_;
+  std::mutex mu_;  // Guards claimed_ (one insert + one extract per task).
+  std::unordered_map<size_t, ClaimedChunk> claimed_;
 };
 
 // Pass 3: AuditContext::CompareOutputs for an epoch whose skeleton holds no response
@@ -133,27 +234,57 @@ Status StreamedCompareOutputs(const AuditContext& ctx, StreamTraceSet* set,
 Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
                                                           const StreamAuditHooks* hooks) {
   using R = Result<AuditResult>;
+  // Config errors are hard errors before the epoch is consumed.
+  if (Result<size_t> threads = ResolveAuditThreads(options_); !threads.ok()) {
+    return R::Error(threads.error());
+  }
+  uint64_t budget_bytes = 0;
+  if (hooks == nullptr || hooks->budget == nullptr) {
+    Result<uint64_t> resolved = ResolveAuditBudget(options_);
+    if (!resolved.ok()) {
+      return R::Error(resolved.error());
+    }
+    budget_bytes = resolved.value();
+  }
   epochs_fed_++;
   AuditResult out;
-  AuditContext ctx(&merged.traces.skeleton(), &merged.reports, app_, &state_, options_);
+  AuditContext ctx(&merged.traces.skeleton(), &merged.reports.skeleton(), app_, &state_,
+                   options_);
   auto reject = [&](std::string reason) {
     out.reason = std::move(reason);
     out.stats = ctx.stats();
     return R(out);
   };
+
+  FileTraceChunkLoader default_loader(&merged.traces);
+  FileReportsChunkLoader default_reports_loader(&merged.reports);
+  ChunkBudget default_budget(budget_bytes);
+  TraceChunkLoader* loader =
+      hooks != nullptr && hooks->loader != nullptr ? hooks->loader : &default_loader;
+  ReportsChunkLoader* reports_loader =
+      hooks != nullptr && hooks->reports_loader != nullptr ? hooks->reports_loader
+                                                           : &default_reports_loader;
+  ChunkBudget* budget =
+      hooks != nullptr && hooks->budget != nullptr ? hooks->budget : &default_budget;
+
+  // The versioned-store builds inside Prepare() consume spilled op-log contents as
+  // budget-bounded segment scans instead of resident logs.
+  SegmentedOpLogScanner scanner(&merged.reports, reports_loader, budget);
+  ctx.set_oplog_scanner(&scanner);
   if (Status st = ctx.Prepare(); !st.ok()) {
+    if (scanner.io_failed()) {
+      // Paging a log segment in failed (spill file vanished or changed mid-audit): a
+      // file-level error, not a verdict — the epoch is unconsumed.
+      epochs_fed_--;
+      return R::Error(st.error());
+    }
     return reject(st.error());
   }
 
-  AuditPlan plan = PlanAuditTasks(&ctx, merged.reports, app_, options_);
+  AuditPlan plan = PlanAuditTasks(&ctx, merged.reports.skeleton(), app_, options_);
 
-  FileTraceChunkLoader default_loader(&merged.traces);
-  ChunkBudget default_budget(ResolveAuditBudget(options_));
-  TraceChunkLoader* loader =
-      hooks != nullptr && hooks->loader != nullptr ? hooks->loader : &default_loader;
-  ChunkBudget* budget =
-      hooks != nullptr && hooks->budget != nullptr ? hooks->budget : &default_budget;
-  StreamTaskGate gate(&merged.traces, loader, budget);
+  StreamTaskGate gate(&merged.traces, loader, &merged.reports, reports_loader, budget,
+                      &ctx);
   AuditExecOutcome exec = ExecuteAuditPlan(&ctx, app_, options_, plan, &gate);
   if (exec.gate_failed) {
     // Paging a chunk in failed (spill file vanished or changed mid-audit): a file-level
@@ -193,11 +324,9 @@ Result<AuditResult> AuditSession::FeedEpochFilesStreamed(const std::string& trac
   if (!shard.ok()) {
     return R::Error(shard.error());
   }
-  Result<Reports> reports = ReadReportsFile(reports_path);
-  if (!reports.ok()) {
-    return R::Error(reports.error());
+  if (Status st = merged.reports.AppendFile(reports_path); !st.ok()) {
+    return R::Error(st.error());
   }
-  merged.reports = std::move(reports).value();
   merged.shard_ids.push_back(shard.value());
   return FeedMergedEpochStreamed(std::move(merged), hooks);
 }

@@ -22,12 +22,32 @@
 namespace orochi {
 namespace {
 
+// One tally shared by the trace- and reports-side counting loaders: a single ChunkBudget
+// admits trace payloads and op-log contents together, so the peak that the budget
+// assertion must bound is the COMBINED resident byte count across both loaders.
+struct ResidencyTally {
+  std::mutex mu;
+  uint64_t resident = 0;
+  uint64_t peak = 0;
+
+  void Add(uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu);
+    resident += bytes;
+    peak = std::max(peak, resident);
+  }
+  void Sub(uint64_t bytes) {
+    std::lock_guard<std::mutex> lock(mu);
+    resident -= bytes;
+  }
+};
+
 // Wraps the real loader, mirroring the budget's view of residency: bytes go resident per
 // chunk (OnChunkResident fires after the ChunkBudget admits the chunk) and drop per chunk
 // as tasks retire. peak_bytes() is the number the budget assertion runs against.
 class CountingChunkLoader : public TraceChunkLoader {
  public:
-  explicit CountingChunkLoader(const StreamTraceSet* set) : real_(set) {}
+  explicit CountingChunkLoader(const StreamTraceSet* set, ResidencyTally* tally = nullptr)
+      : real_(set), tally_(tally) {}
 
   Status Load(const StreamTraceSet& set, size_t index, TraceEvent* event) override {
     {
@@ -44,6 +64,9 @@ class CountingChunkLoader : public TraceChunkLoader {
     real_.Evict(set, index, event);
   }
   void OnChunkResident(uint64_t bytes) override {
+    if (tally_ != nullptr) {
+      tally_->Add(bytes);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     resident_bytes_ += bytes;
     active_chunks_++;
@@ -52,6 +75,9 @@ class CountingChunkLoader : public TraceChunkLoader {
     largest_chunk_bytes_ = std::max(largest_chunk_bytes_, bytes);
   }
   void OnChunkEvicted(uint64_t bytes) override {
+    if (tally_ != nullptr) {
+      tally_->Sub(bytes);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     resident_bytes_ -= bytes;
     active_chunks_--;
@@ -66,6 +92,7 @@ class CountingChunkLoader : public TraceChunkLoader {
 
  private:
   FileTraceChunkLoader real_;
+  ResidencyTally* tally_;
   mutable std::mutex mu_;
   uint64_t loads_ = 0;
   uint64_t evicts_ = 0;
@@ -74,6 +101,56 @@ class CountingChunkLoader : public TraceChunkLoader {
   uint64_t active_chunks_ = 0;
   uint64_t peak_chunks_ = 0;
   uint64_t largest_chunk_bytes_ = 0;
+};
+
+// The reports-side twin: wraps the real op-log loader, feeding the shared tally so the
+// combined trace+reports peak is observable, and tracking loads/evicts/peak on its own.
+class CountingReportsLoader : public ReportsChunkLoader {
+ public:
+  CountingReportsLoader(const StreamReportsSet* set, ResidencyTally* tally)
+      : real_(set), tally_(tally) {}
+
+  Status Load(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
+              uint64_t count) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry_loads_ += count;
+    }
+    return real_.Load(set, object, first_seqnum, count);
+  }
+  void Evict(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
+             uint64_t count) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      entry_evicts_ += count;
+    }
+    real_.Evict(set, object, first_seqnum, count);
+  }
+  void OnChunkResident(uint64_t bytes) override {
+    tally_->Add(bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+    resident_bytes_ += bytes;
+    peak_bytes_ = std::max(peak_bytes_, resident_bytes_);
+  }
+  void OnChunkEvicted(uint64_t bytes) override {
+    tally_->Sub(bytes);
+    std::lock_guard<std::mutex> lock(mu_);
+    resident_bytes_ -= bytes;
+  }
+
+  uint64_t entry_loads() const { return entry_loads_; }
+  uint64_t entry_evicts() const { return entry_evicts_; }
+  uint64_t resident_bytes() const { return resident_bytes_; }
+  uint64_t peak_bytes() const { return peak_bytes_; }
+
+ private:
+  FileReportsChunkLoader real_;
+  ResidencyTally* tally_;
+  mutable std::mutex mu_;
+  uint64_t entry_loads_ = 0;
+  uint64_t entry_evicts_ = 0;
+  uint64_t resident_bytes_ = 0;
+  uint64_t peak_bytes_ = 0;
 };
 
 Workload CounterWorkload(size_t n, const std::string& key_prefix = "") {
@@ -160,6 +237,136 @@ TEST(StreamAudit, StreamedMatchesInMemoryAcrossThreadCounts) {
     EXPECT_LE(loader.largest_chunk_bytes(), kBudget) << "test workload mis-sized";
     EXPECT_LE(loader.peak_bytes(), kBudget) << threads << " threads";
   }
+}
+
+// The tentpole guarantee: ONE budget bounds the combined resident trace payloads AND
+// op-log contents. The counting loader pair shares a tally, so the assertion below is on
+// the true cross-loader peak — while the streamed verdict and final_state stay
+// bit-identical to the in-memory path at every thread count.
+TEST(StreamAudit, TracePlusReportsBytesShareOneBudgetAcrossThreadCounts) {
+  SpilledEpoch e = SpillCounterEpoch("both_sides", 240);
+  StreamReportsSet reports_probe;
+  ASSERT_TRUE(reports_probe.AppendFile(e.reports_path).ok());
+  // The reports side must genuinely bind too: the epoch's op-log bytes exceed the budget
+  // several times over, so acceptance under the assertions below proves the versioned
+  // -store builds and the chunk gate really paged log contents in and out.
+  ASSERT_GT(reports_probe.total_log_payload_bytes(), 3 * kBudget);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    AuditSession in_memory =
+        AuditSession::Open(&e.w.app, StreamOptions(threads, 0), e.initial);
+    Result<AuditResult> ref = in_memory.FeedEpochFiles(e.trace_path, e.reports_path);
+    ASSERT_TRUE(ref.ok()) << ref.error();
+    ASSERT_TRUE(ref.value().accepted) << ref.value().reason;
+
+    AuditSession streamed =
+        AuditSession::Open(&e.w.app, StreamOptions(threads, kBudget), e.initial);
+    StreamTraceSet trace_probe;
+    ASSERT_TRUE(trace_probe.AppendFile(e.trace_path).ok());
+    ResidencyTally tally;
+    CountingChunkLoader trace_loader(&trace_probe, &tally);
+    CountingReportsLoader reports_loader(&reports_probe, &tally);
+    ChunkBudget budget(kBudget);
+    StreamAuditHooks hooks;
+    hooks.loader = &trace_loader;
+    hooks.reports_loader = &reports_loader;
+    hooks.budget = &budget;
+    Result<AuditResult> got =
+        streamed.FeedEpochFilesStreamed(e.trace_path, e.reports_path, &hooks);
+    ASSERT_TRUE(got.ok()) << got.error();
+    EXPECT_TRUE(got.value().accepted) << got.value().reason;
+    EXPECT_EQ(InitialStateFingerprint(got.value().final_state),
+              InitialStateFingerprint(ref.value().final_state))
+        << threads << " threads";
+
+    // Both sides paged; everything loaded was evicted; nothing is resident after the
+    // audit; and the COMBINED peak never passed the single budget.
+    EXPECT_GT(trace_loader.loads(), 0u);
+    EXPECT_GT(reports_loader.entry_loads(), 0u);
+    EXPECT_EQ(trace_loader.loads(), trace_loader.evicts());
+    EXPECT_EQ(reports_loader.entry_loads(), reports_loader.entry_evicts());
+    EXPECT_EQ(tally.resident, 0u);
+    EXPECT_LE(tally.peak, kBudget) << threads << " threads";
+    EXPECT_LE(budget.peak_bytes(), kBudget) << threads << " threads";
+    // The loader hooks fire after Acquire and before Release, so the tally's view is
+    // always a lower bound on the budget's own high-water mark (equality is not
+    // guaranteed under concurrency — another worker can release between a peer's
+    // admission and its OnChunkResident).
+    EXPECT_LE(tally.peak, budget.peak_bytes()) << threads << " threads";
+  }
+}
+
+TEST(StreamAudit, OpLogPointReadsReproduceContentsExactly) {
+  Reports r;
+  r.objects.push_back({ObjectKind::kRegister, "sess"});
+  r.objects.push_back({ObjectKind::kKv, ""});
+  r.op_logs.resize(2);
+  OpRecord reg;
+  reg.rid = 7;
+  reg.opnum = 1;
+  reg.type = StateOpType::kRegisterWrite;
+  reg.contents = MakeRegisterWriteContents(Value::Str(std::string("v\0binary\xff", 9)));
+  r.op_logs[0].push_back(reg);
+  OpRecord set_op;
+  set_op.rid = 7;
+  set_op.opnum = 2;
+  set_op.type = StateOpType::kKvSet;
+  set_op.contents = MakeKvSetContents("k", Value::Int(42));
+  OpRecord get_op;
+  get_op.rid = 8;
+  get_op.opnum = 1;
+  get_op.type = StateOpType::kKvGet;
+  get_op.contents = "k";
+  r.op_logs[1].push_back(set_op);
+  r.op_logs[1].push_back(get_op);
+  r.groups[1] = {7, 8};
+  r.op_counts[7] = 2;
+  r.op_counts[8] = 1;
+  r.nondet[7].push_back({"time", Value::Int(99).Serialize()});
+  std::string path = ::testing::TempDir() + "/stream_oplog_point_reads.bin";
+  ASSERT_TRUE(WriteReportsFile(path, r).ok());
+
+  StreamReportsSet set;
+  ASSERT_TRUE(set.AppendFile(path).ok());
+  // The skeleton kept every structural field — and shed exactly the contents.
+  ASSERT_EQ(set.skeleton().objects.size(), 2u);
+  ASSERT_EQ(set.skeleton().op_logs[1].size(), 2u);
+  EXPECT_EQ(set.skeleton().op_logs[0][0].rid, 7u);
+  EXPECT_EQ(set.skeleton().op_logs[1][1].type, StateOpType::kKvGet);
+  EXPECT_TRUE(set.skeleton().op_logs[0][0].contents.empty());
+  EXPECT_TRUE(set.skeleton().op_logs[1][0].contents.empty());
+  EXPECT_EQ(set.skeleton().groups, r.groups);
+  EXPECT_EQ(set.skeleton().op_counts.at(7), 2u);
+  EXPECT_EQ(set.skeleton().nondet.at(7).size(), 1u);
+  EXPECT_GT(set.total_log_payload_bytes(), 0u);
+
+  FileReportsChunkLoader loader(&set);
+  ASSERT_TRUE(loader.Load(&set, 0, 1, 1).ok());
+  ASSERT_TRUE(loader.Load(&set, 1, 1, 2).ok());
+  EXPECT_EQ(set.skeleton().op_logs[0][0].contents, reg.contents);
+  EXPECT_EQ(set.skeleton().op_logs[1][0].contents, set_op.contents);
+  EXPECT_EQ(set.skeleton().op_logs[1][1].contents, get_op.contents);
+  loader.Evict(&set, 0, 1, 1);
+  loader.Evict(&set, 1, 1, 2);
+  EXPECT_TRUE(set.skeleton().op_logs[0][0].contents.empty());
+  EXPECT_TRUE(set.skeleton().op_logs[1][1].contents.empty());
+
+  // A forward-scan segment sweep sees the same contents the resident reader decodes.
+  ChunkBudget budget(0);
+  SegmentedOpLogScanner scanner(&set, &loader, &budget);
+  std::vector<std::string> seen;
+  ASSERT_TRUE(scanner
+                  .Scan(1,
+                        [&](const OpRecord& op, uint64_t seqnum) {
+                          EXPECT_EQ(seqnum, seen.size() + 1);
+                          seen.push_back(op.contents);
+                          return Status::Ok();
+                        })
+                  .ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], set_op.contents);
+  EXPECT_EQ(seen[1], get_op.contents);
+  EXPECT_FALSE(scanner.io_failed());
 }
 
 TEST(StreamAudit, TamperedEpochRejectsIdenticallyInBothPathsAcrossThreads) {
@@ -466,12 +673,96 @@ TEST(StreamAudit, PointReadsReproducePayloadsExactly) {
 TEST(StreamAudit, BudgetResolutionPrefersOptionsOverEnv) {
   AuditOptions options;
   options.max_resident_bytes = 12345;
-  EXPECT_EQ(ResolveAuditBudget(options), 12345u);
+  Result<uint64_t> b = ResolveAuditBudget(options);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), 12345u);
   options.max_resident_bytes = 0;
   ASSERT_EQ(setenv("OROCHI_AUDIT_BUDGET", "777", 1), 0);
-  EXPECT_EQ(ResolveAuditBudget(options), 777u);
+  b = ResolveAuditBudget(options);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), 777u);
   ASSERT_EQ(unsetenv("OROCHI_AUDIT_BUDGET"), 0);
-  EXPECT_EQ(ResolveAuditBudget(options), 0u);
+  b = ResolveAuditBudget(options);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), 0u);
+}
+
+// A set but malformed OROCHI_AUDIT_BUDGET / OROCHI_AUDIT_THREADS used to silently fall
+// back (atoll) — unbounded memory or a surprise thread count. Both are hard errors now.
+TEST(EnvConfig, MalformedBudgetEnvIsAHardErrorNotASilentFallback) {
+  AuditOptions options;  // max_resident_bytes = 0 ⇒ the env variable decides.
+  for (const char* bad : {"12abc", "abc", "-1", "+5", " 8", "8 ", "", "99999999999999999999"}) {
+    ASSERT_EQ(setenv("OROCHI_AUDIT_BUDGET", bad, 1), 0);
+    Result<uint64_t> b = ResolveAuditBudget(options);
+    ASSERT_FALSE(b.ok()) << "'" << bad << "' should not parse";
+    EXPECT_NE(b.error().find("OROCHI_AUDIT_BUDGET"), std::string::npos) << b.error();
+  }
+
+  // A streamed feed surfaces the config error as a hard error Result, before any file is
+  // read and without consuming an epoch.
+  ASSERT_EQ(setenv("OROCHI_AUDIT_BUDGET", "4k", 1), 0);
+  SpilledEpoch e = SpillCounterEpoch("env_budget", 20);
+  AuditOptions session_options;
+  session_options.num_threads = 1;
+  AuditSession session = AuditSession::Open(&e.w.app, session_options, e.initial);
+  Result<AuditResult> r = session.FeedEpochFilesStreamed(e.trace_path, e.reports_path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("OROCHI_AUDIT_BUDGET"), std::string::npos) << r.error();
+  EXPECT_EQ(session.epochs_fed(), 0u);
+
+  // Options still shadow the environment entirely, even a malformed one.
+  session_options.max_resident_bytes = kBudget;
+  AuditSession shadowed = AuditSession::Open(&e.w.app, session_options, e.initial);
+  Result<AuditResult> ok = shadowed.FeedEpochFilesStreamed(e.trace_path, e.reports_path);
+  ASSERT_TRUE(ok.ok()) << ok.error();
+  EXPECT_TRUE(ok.value().accepted);
+  ASSERT_EQ(unsetenv("OROCHI_AUDIT_BUDGET"), 0);
+}
+
+TEST(EnvConfig, MalformedThreadsEnvIsAHardErrorNotASilentFallback) {
+  AuditOptions options;  // num_threads = 0 ⇒ the env variable decides.
+  for (const char* bad : {"two", "2x", "-2", " 2", ""}) {
+    ASSERT_EQ(setenv("OROCHI_AUDIT_THREADS", bad, 1), 0);
+    Result<size_t> t = ResolveAuditThreads(options);
+    ASSERT_FALSE(t.ok()) << "'" << bad << "' should not parse";
+    EXPECT_NE(t.error().find("OROCHI_AUDIT_THREADS"), std::string::npos) << t.error();
+  }
+  // An explicit 0 means auto, like AuditOptions::num_threads == 0.
+  ASSERT_EQ(setenv("OROCHI_AUDIT_THREADS", "0", 1), 0);
+  Result<size_t> zero = ResolveAuditThreads(options);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_GE(zero.value(), 1u);
+
+  ASSERT_EQ(setenv("OROCHI_AUDIT_THREADS", "8x", 1), 0);
+  SpilledEpoch e = SpillCounterEpoch("env_threads", 20);
+  // File-based feeds: a hard error Result before any file is read, no epoch consumed.
+  AuditSession session = AuditSession::Open(&e.w.app, options, e.initial);
+  Result<AuditResult> r = session.FeedEpochFiles(e.trace_path, e.reports_path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("OROCHI_AUDIT_THREADS"), std::string::npos) << r.error();
+  Result<AuditResult> rs = session.FeedEpochFilesStreamed(e.trace_path, e.reports_path);
+  ASSERT_FALSE(rs.ok());
+  EXPECT_NE(rs.error().find("OROCHI_AUDIT_THREADS"), std::string::npos) << rs.error();
+  EXPECT_EQ(session.epochs_fed(), 0u);
+
+  // FeedEpoch has no error channel: the config error reports as a rejection whose reason
+  // names the variable, and the epoch is not consumed.
+  Result<Trace> trace = ReadTraceFile(e.trace_path);
+  Result<Reports> reports = ReadReportsFile(e.reports_path);
+  ASSERT_TRUE(trace.ok() && reports.ok());
+  AuditResult fed = session.FeedEpoch(trace.value(), reports.value());
+  EXPECT_FALSE(fed.accepted);
+  EXPECT_NE(fed.reason.find("OROCHI_AUDIT_THREADS"), std::string::npos) << fed.reason;
+  EXPECT_EQ(session.epochs_fed(), 0u);
+
+  // Explicit options shadow the environment entirely.
+  AuditOptions pinned;
+  pinned.num_threads = 2;
+  AuditSession shadowed = AuditSession::Open(&e.w.app, pinned, e.initial);
+  Result<AuditResult> ok = shadowed.FeedEpochFiles(e.trace_path, e.reports_path);
+  ASSERT_TRUE(ok.ok()) << ok.error();
+  EXPECT_TRUE(ok.value().accepted);
+  ASSERT_EQ(unsetenv("OROCHI_AUDIT_THREADS"), 0);
 }
 
 }  // namespace
