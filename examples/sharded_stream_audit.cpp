@@ -17,11 +17,16 @@
 //
 // Build & run:  cmake -B build && cmake --build build && ./build/sharded_stream_audit
 // OROCHI_BENCH_SCALE scales the request count (CI smoke-runs with a small scale).
+// OROCHI_FAULT_SEED routes every spill write and audit read through a fault-injecting
+// environment seeded with that value, firing only absorbable faults (transient read
+// errors + short reads): the demo must behave IDENTICALLY — retries and read loops hide
+// them — which is exactly what the CI fault matrix asserts.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "src/common/io_env.h"
 #include "src/core/audit_session.h"
 #include "src/objects/wire_format.h"
 #include "src/server/collector.h"
@@ -57,6 +62,23 @@ bool Fail(const std::string& what) {
   return false;
 }
 
+// OROCHI_FAULT_SEED, when set, wraps the whole demo's I/O in a FaultInjectingEnv firing
+// only absorbable faults. nullptr (the default) is the plain posix environment.
+FaultInjectingEnv* DemoFaultEnv() {
+  static FaultInjectingEnv* env = []() -> FaultInjectingEnv* {
+    const char* seed = std::getenv("OROCHI_FAULT_SEED");
+    if (seed == nullptr || *seed == '\0') {
+      return nullptr;
+    }
+    FaultOptions fo;
+    fo.seed = static_cast<uint64_t>(std::strtoull(seed, nullptr, 0));
+    fo.p_read_transient = 0.02;
+    fo.p_short_read = 0.10;
+    return new FaultInjectingEnv(nullptr, fo);
+  }();
+  return env;
+}
+
 // One front end's slice of the epoch: disjoint key/user space and a disjoint rid range,
 // served on its own executor behind its own shard-stamped collector.
 struct FrontEnd {
@@ -64,10 +86,14 @@ struct FrontEnd {
   std::string reports_path;
 };
 
-FrontEnd ServeShard(const Workload& w, uint32_t shard_id, size_t requests,
-                    const std::string& dir) {
-  ServerCore core(&w.app, w.initial, ServerOptions{.record_reports = true});
-  Collector collector(shard_id);
+// Serves one shard and spills it. A failed Flush/ExportReports is a hard error for the
+// front end — the trace/reports stay in memory for a retry, and shipping a partial
+// epoch to the verifier is exactly what the atomic spill path exists to prevent.
+bool ServeShard(const Workload& w, uint32_t shard_id, size_t requests,
+                const std::string& dir, Env* env, FrontEnd* out) {
+  ServerCore core(&w.app, w.initial,
+                  ServerOptions{.record_reports = true, .io_env = env});
+  Collector collector(shard_id, env);
   {
     ThreadServer server(&core, &collector, /*num_workers=*/4);
     RequestId rid = 1 + 100000 * shard_id;
@@ -79,16 +105,15 @@ FrontEnd ServeShard(const Workload& w, uint32_t shard_id, size_t requests,
     }
     server.Drain();
   }
-  FrontEnd fe;
-  fe.trace_path = dir + "/trace_shard" + std::to_string(shard_id) + ".bin";
-  fe.reports_path = dir + "/reports_shard" + std::to_string(shard_id) + ".bin";
-  if (Status st = collector.Flush(fe.trace_path); !st.ok()) {
-    std::printf("flush failed: %s\n", st.error().c_str());
+  out->trace_path = dir + "/trace_shard" + std::to_string(shard_id) + ".bin";
+  out->reports_path = dir + "/reports_shard" + std::to_string(shard_id) + ".bin";
+  if (Status st = collector.Flush(out->trace_path); !st.ok()) {
+    return Fail("shard " + std::to_string(shard_id) + " flush: " + st.error());
   }
-  if (Status st = core.ExportReports(fe.reports_path); !st.ok()) {
-    std::printf("export failed: %s\n", st.error().c_str());
+  if (Status st = core.ExportReports(out->reports_path); !st.ok()) {
+    return Fail("shard " + std::to_string(shard_id) + " export: " + st.error());
   }
-  return fe;
+  return true;
 }
 
 bool RunDemo() {
@@ -109,12 +134,22 @@ bool RunDemo() {
   }
   const size_t per_shard = static_cast<size_t>(600 * Scale()) + 8;
 
+  Env* fault_env = DemoFaultEnv();
+  if (fault_env != nullptr) {
+    std::printf("fault injection: on (OROCHI_FAULT_SEED=%s, absorbable faults only)\n",
+                std::getenv("OROCHI_FAULT_SEED"));
+  }
+
   // --- Front-end side: three shards serve and spill, and a manifest names the pairs. ---
   ShardManifest manifest;
   manifest.epoch = 1;
   std::vector<FrontEnd> front_ends;
   for (uint32_t shard = 1; shard <= kShards; shard++) {
-    front_ends.push_back(ServeShard(w, shard, per_shard, dir));
+    FrontEnd fe;
+    if (!ServeShard(w, shard, per_shard, dir, fault_env, &fe)) {
+      return false;
+    }
+    front_ends.push_back(fe);
     manifest.shards.push_back(
         {shard, "trace_shard" + std::to_string(shard) + ".bin",
          "reports_shard" + std::to_string(shard) + ".bin"});
@@ -132,6 +167,7 @@ bool RunDemo() {
   // request payloads AND the op-log entry contents its checks compare against, so chunks
   // must stay comfortably under the budget to avoid the oversized-chunk admission path.
   options.max_group_size = 16;
+  options.io_env = fault_env;  // nullptr = posix; every verifier read retries transients.
   if (std::getenv("OROCHI_AUDIT_BUDGET") == nullptr) {
     options.max_resident_bytes = 16 * 1024;
   }
@@ -149,11 +185,11 @@ bool RunDemo() {
     StreamTraceSet probe;
     StreamReportsSet reports_probe;
     for (const FrontEnd& fe : front_ends) {
-      Result<uint32_t> r = probe.AppendFile(fe.trace_path);
+      Result<uint32_t> r = probe.AppendFile(fe.trace_path, fault_env);
       if (!r.ok()) {
         return Fail(r.error());
       }
-      if (Status st = reports_probe.AppendFile(fe.reports_path); !st.ok()) {
+      if (Status st = reports_probe.AppendFile(fe.reports_path, fault_env); !st.ok()) {
         return Fail(st.error());
       }
     }
@@ -261,6 +297,11 @@ bool RunDemo() {
     return Fail("streamed sharded end state diverges from the in-memory merged audit");
   }
   std::printf("cross-check: streamed sharded end state == in-memory merged audit state\n");
+  if (fault_env != nullptr) {
+    std::printf("fault injection: %llu absorbable faults fired and were hidden by "
+                "retries/short-read loops\n",
+                static_cast<unsigned long long>(DemoFaultEnv()->faults_injected()));
+  }
   return true;
 }
 

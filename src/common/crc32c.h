@@ -1,0 +1,51 @@
+// CRC32C (Castagnoli) — the per-record checksum of wire format v2. Software
+// table-driven implementation; no hardware dependency so spill files verify
+// identically on every host the verifier runs on.
+#ifndef SRC_COMMON_CRC32C_H_
+#define SRC_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace orochi {
+
+namespace crc32c_internal {
+
+inline const uint32_t* Table() {
+  static const auto* table = [] {
+    auto* t = new uint32_t[256];
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; k++) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32c_internal
+
+// Extends a running CRC32C over `n` more bytes. Start (and finish) with `crc = 0`;
+// the pre/post inversion is handled internally so values chain:
+//   Crc32c(a+b) == Crc32cExtend(Crc32c(a), b).
+inline uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n) {
+  const uint32_t* table = crc32c_internal::Table();
+  crc = ~crc;
+  const auto* p = reinterpret_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; i++) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline uint32_t Crc32c(const char* data, size_t n) { return Crc32cExtend(0, data, n); }
+
+inline uint32_t Crc32c(const std::string& s) { return Crc32c(s.data(), s.size()); }
+
+}  // namespace orochi
+
+#endif  // SRC_COMMON_CRC32C_H_

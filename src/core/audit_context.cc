@@ -24,6 +24,7 @@ void AuditStats::MergeFrom(const AuditStats& o) {
   ops_checked += o.ops_checked;
   db_selects_issued += o.db_selects_issued;
   db_selects_deduped += o.db_selects_deduped;
+  checkpoint_chunks_reused += o.checkpoint_chunks_reused;
   group_stats.insert(group_stats.end(), o.group_stats.begin(), o.group_stats.end());
 }
 
@@ -527,6 +528,14 @@ void AuditContext::SetOutput(RequestId rid, std::string body) {
   }
   it->second.produced = true;
   it->second.body = std::move(body);
+}
+
+const std::string* AuditContext::ProducedOutput(RequestId rid) const {
+  auto it = outputs_.find(rid);
+  if (it == outputs_.end() || !it->second.produced) {
+    return nullptr;
+  }
+  return &it->second.body;
 }
 
 std::string AuditContext::CheckResponseOutput(RequestId rid, const std::string& body) const {

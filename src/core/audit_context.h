@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/io_env.h"
 #include "src/common/result.h"
 #include "src/core/process_reports.h"
 #include "src/lang/step_result.h"
@@ -45,6 +46,14 @@ struct AuditOptions {
   // while nothing else is resident. 0 = auto: OROCHI_AUDIT_BUDGET when set, else
   // unlimited. Ignored by the in-memory path.
   size_t max_resident_bytes = 0;
+  // I/O environment every spill read/write of the audit goes through. nullptr = the
+  // production posix environment; tests install a FaultInjectingEnv here to drive the
+  // whole pipeline through injected faults. Not owned.
+  Env* io_env = nullptr;
+  // When nonempty, FeedEpochFilesStreamed journals completed pass-2 chunks to this
+  // sidecar file and, on a later run over the same epoch, resumes without re-executing
+  // them. Removed once a verdict (accept or reject) is reached.
+  std::string checkpoint_path;
   InterpreterOptions interp;
 };
 
@@ -63,6 +72,9 @@ struct AuditStats {
   uint64_t ops_checked = 0;
   uint64_t db_selects_issued = 0;   // SELECTs actually run against versioned storage.
   uint64_t db_selects_deduped = 0;  // SELECTs answered from the dedup cache.
+  // Pass-2 chunk tasks replayed from a checkpoint journal instead of re-executed (only
+  // nonzero on a resumed streamed audit; see src/stream/checkpoint.h).
+  uint64_t checkpoint_chunks_reused = 0;
 
   struct GroupStat {
     std::string script;
@@ -154,6 +166,10 @@ class AuditContext {
   // traced rid after Prepare(), so concurrent SetOutput calls for distinct rids never
   // mutate the map structure; callers must only pass rids present in the trace.
   void SetOutput(RequestId rid, std::string body);
+  // The output a re-execution produced for rid, or nullptr when none was set. Same
+  // concurrency discipline as SetOutput: only the worker owning rid's task may call this
+  // while tasks run (the checkpoint journal captures a chunk's outputs through it).
+  const std::string* ProducedOutput(RequestId rid) const;
   // Compares produced outputs against the trace's responses (the final accept check).
   Status CompareOutputs();
   // Verdict for one traced response against the produced outputs; empty = match. The

@@ -83,7 +83,7 @@ AuditPlan PlanAuditTasks(AuditContext* ctx, const Reports& reports, const Applic
 
 AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
                                   const AuditOptions& options, const AuditPlan& plan,
-                                  AuditTaskGate* gate) {
+                                  AuditTaskGate* gate, AuditTaskJournal* journal) {
   Result<size_t> threads = ResolveAuditThreads(options);
   if (!threads.ok()) {
     // A malformed OROCHI_AUDIT_THREADS is a configuration error, not an audit verdict;
@@ -115,6 +115,18 @@ AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
       if (task.order > first_fail.load(std::memory_order_relaxed)) {
         return;  // A strictly earlier failure already decided the verdict.
       }
+      if (journal != nullptr) {
+        if (const AuditTaskRecord* rec = journal->Lookup(task.order); rec != nullptr) {
+          // Replay the journaled contribution: no gate (nothing is paged in), no
+          // re-execution — the recorded stats and outputs stand in for both.
+          task_stats[i] = rec->stats;
+          task_stats[i].checkpoint_chunks_reused += 1;
+          for (const auto& [rid, body] : rec->outputs) {
+            ctx->SetOutput(rid, body);
+          }
+          return;
+        }
+      }
       if (gate != nullptr) {
         if (Status st = gate->Acquire(task); !st.ok()) {
           task_error[i] = st.error();
@@ -124,13 +136,24 @@ AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
         }
       }
       AuditWorkerState ws(&task_stats[i]);
-      if (Status st = RunGroupChunk(app, options.interp, ctx, task.prog, task.rids, &ws);
-          !st.ok()) {
-        task_error[i] = st.error();
+      Status run = RunGroupChunk(app, options.interp, ctx, task.prog, task.rids, &ws);
+      if (!run.ok()) {
+        task_error[i] = run.error();
         record_failure(task.order);
       }
       if (gate != nullptr) {
         gate->Release(task);
+      }
+      if (run.ok() && journal != nullptr) {
+        AuditTaskRecord rec;
+        rec.stats = task_stats[i];
+        rec.outputs.reserve(task.rids.size());
+        for (RequestId rid : task.rids) {
+          if (const std::string* body = ctx->ProducedOutput(rid)) {
+            rec.outputs.emplace_back(rid, *body);
+          }
+        }
+        journal->Record(task, rec);
       }
     };
 

@@ -67,6 +67,29 @@ class AuditTaskGate {
   virtual void Release(const AuditTask& task) = 0;
 };
 
+// Everything a successfully retired task contributed: its stats block and the outputs it
+// produced, keyed by its walk order. A checkpoint journal persists these so a resumed
+// audit replays the contribution instead of re-executing the chunk.
+struct AuditTaskRecord {
+  AuditStats stats;
+  std::vector<std::pair<RequestId, std::string>> outputs;  // In task.rids order.
+};
+
+// Sidecar journal of completed tasks (src/stream/checkpoint.h implements it over a wire
+// checkpoint file). Only successful tasks are journaled — failed chunks re-execute on
+// resume and fail identically, which keeps the verdict bit-identical by construction.
+// Both methods are called from worker threads; implementations must be thread-safe.
+class AuditTaskJournal {
+ public:
+  virtual ~AuditTaskJournal() = default;
+  // The record a prior run journaled for walk order `order`, or nullptr. The returned
+  // pointer must stay valid until ExecuteAuditPlan returns.
+  virtual const AuditTaskRecord* Lookup(size_t order) = 0;
+  // Journals a task that just retired successfully. Failures here must be swallowed (a
+  // lost journal entry only costs re-execution on resume, never correctness).
+  virtual void Record(const AuditTask& task, const AuditTaskRecord& record) = 0;
+};
+
 struct AuditExecOutcome {
   size_t fail_order = kNoAuditFailure;  // kNoAuditFailure: every task succeeded.
   std::string fail_reason;
@@ -79,10 +102,12 @@ struct AuditExecOutcome {
 // ResolveAuditThreads(options) workers, then the serial chunks in order. Per-task stats
 // merge into ctx->stats() in walk order, so merged statistics are schedule-independent.
 // The returned failure is the plan's failure, a task failure, or a gate failure —
-// whichever claims the smallest walk position.
+// whichever claims the smallest walk position. A journaled task replays its record
+// (stats + outputs, checkpoint_chunks_reused incremented) without touching the gate.
 AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
                                   const AuditOptions& options, const AuditPlan& plan,
-                                  AuditTaskGate* gate = nullptr);
+                                  AuditTaskGate* gate = nullptr,
+                                  AuditTaskJournal* journal = nullptr);
 
 }  // namespace orochi
 

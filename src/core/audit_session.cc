@@ -13,7 +13,7 @@ AuditSession::AuditSession(const Application* app, AuditOptions options, Initial
 Result<AuditSession> AuditSession::OpenFromStateFile(const Application* app,
                                                      AuditOptions options,
                                                      const std::string& state_path) {
-  Result<InitialState> state = ReadInitialStateFile(state_path);
+  Result<InitialState> state = ReadInitialStateFile(state_path, options.io_env);
   if (!state.ok()) {
     return Result<AuditSession>::Error(state.error());
   }
@@ -21,7 +21,7 @@ Result<AuditSession> AuditSession::OpenFromStateFile(const Application* app,
 }
 
 Status AuditSession::SaveState(const std::string& path) const {
-  return WriteInitialStateFile(path, state_);
+  return WriteInitialStateFile(path, state_, options_.io_env);
 }
 
 Result<AuditResult> AuditSession::FeedEpochFiles(const std::string& trace_path,
@@ -31,11 +31,11 @@ Result<AuditResult> AuditSession::FeedEpochFiles(const std::string& trace_path,
   if (Result<size_t> threads = ResolveAuditThreads(options_); !threads.ok()) {
     return Result<AuditResult>::Error(threads.error());
   }
-  Result<Trace> trace = ReadTraceFile(trace_path);
+  Result<Trace> trace = ReadTraceFile(trace_path, options_.io_env);
   if (!trace.ok()) {
     return Result<AuditResult>::Error(trace.error());
   }
-  Result<Reports> reports = ReadReportsFile(reports_path);
+  Result<Reports> reports = ReadReportsFile(reports_path, options_.io_env);
   if (!reports.ok()) {
     return Result<AuditResult>::Error(reports.error());
   }

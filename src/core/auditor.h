@@ -24,6 +24,38 @@ struct AuditResult {
   InitialState final_state;
 };
 
+// What one Feed* call amounted to, separating the three outcomes an operator reacts to
+// differently: a verdict (accept/reject — the epoch was consumed), an I/O failure
+// (corrupt, truncated, or unreadable spill file — the epoch is unconsumed and the audit
+// can be retried once the file is restored; NEVER evidence of server misbehavior), and a
+// configuration error (bad OROCHI_AUDIT_THREADS / OROCHI_AUDIT_BUDGET or options — fix
+// the verifier, not the files).
+enum class AuditOutcome {
+  kAccepted,
+  kRejected,
+  kIoError,
+  kConfigError,
+};
+
+// Structured context parsed out of an I/O-failure error string: which file, where, and
+// the raw detail. Fields are best-effort (offset == UINT64_MAX when the error carries
+// none); `detail` always holds the full message.
+struct AuditIoError {
+  std::string file;
+  uint64_t offset = UINT64_MAX;
+  std::string detail;
+};
+
+// Classifies a Feed* result into the taxonomy above. Error Results split into
+// kConfigError (message names a config knob) and kIoError (everything else: wire
+// corruption, short files, failed reads/writes, crashed spills); ok Results map to
+// kAccepted/kRejected from the verdict.
+AuditOutcome ClassifyAuditOutcome(const Result<AuditResult>& result);
+
+// Parses file/offset context from a kIoError message ("... at offset N in <path>" /
+// "... in <path>" shapes). Always fills `detail`.
+AuditIoError ParseAuditIoError(const std::string& error);
+
 // Worker-thread count an AuditOptions resolves to: num_threads when nonzero, else the
 // OROCHI_AUDIT_THREADS environment variable (0 = auto, like the option), else
 // std::thread::hardware_concurrency(). A set but malformed environment value is a hard

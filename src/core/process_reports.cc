@@ -16,6 +16,26 @@ Result<ProcessedReports> ProcessOpReports(const Trace& trace, const Reports& rep
     out.op_counts[e.rid] = it == reports.op_counts.end() ? 0 : it->second;
   }
 
+  // CheckLogs requires every alleged (rid, opnum) up to M(rid) to be claimed by exactly
+  // one log entry, so the alleged totals can never exceed the entries actually present
+  // in the (size-bounded) reports file. Enforce that BEFORE allocating graph/op-map
+  // nodes: M(rid) is the adversary's claim, and an absurd count must reject, not size
+  // an allocation.
+  uint64_t total_alleged = 0;
+  for (const auto& [rid, m] : out.op_counts) {
+    (void)rid;
+    total_alleged += m;
+  }
+  uint64_t total_logged = 0;
+  for (const auto& log : reports.op_logs) {
+    total_logged += log.size();
+  }
+  if (total_alleged > total_logged) {
+    return R::Error("CheckLogs: alleged op counts total " + std::to_string(total_alleged) +
+                    " but the logs contain only " + std::to_string(total_logged) +
+                    " entries");
+  }
+
   // CreateTimePrecedenceGraph + SplitNodes + AddProgramEdges (Figure 5, lines 4-6;
   // Figure 6). Nodes for all of (rid, 0..M, inf) are allocated per request; program-order
   // edges chain them.

@@ -6,17 +6,30 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/crc32c.h"
+#include "src/common/io_env.h"
 #include "src/lang/value.h"
+#include "src/objects/wire_primitives.h"
 
 namespace orochi {
 
 namespace {
 
+using wire_primitives::Cursor;
+using wire_primitives::MakeCursor;
+using wire_primitives::PutF64;
+using wire_primitives::PutStr;
+using wire_primitives::PutU32;
+using wire_primitives::PutU64;
+using wire_primitives::PutU8;
+using wire_primitives::StrWireBytes;
+
 // A corrupt length prefix must not make the reader attempt a multi-gigabyte allocation.
 constexpr uint64_t kMaxRecordBytes = 1ull << 30;
 
-constexpr size_t kHeaderBytes = sizeof(wire::kMagic) + 4 /*version*/ + 1 /*section*/;
-constexpr size_t kRecordFrameBytes = 1 /*type*/ + 8 /*length*/;
+constexpr size_t kHeaderBytes = wire::kEnvelopeHeaderBytes;
+constexpr size_t kRecordFrameBytesV1 = 1 /*type*/ + 8 /*length*/;
+constexpr size_t kRecordFrameBytesV2 = wire::kRecordFrameBytesV2;
 
 // Trace section record types (public aliases live in wire:: for the point reader).
 constexpr uint8_t kRecRequest = wire::kTraceRecRequest;
@@ -36,187 +49,89 @@ constexpr uint8_t kRecDbTable = 3;
 constexpr uint8_t kRecManifestEpoch = 1;
 constexpr uint8_t kRecManifestShard = 2;
 
-// --- little-endian append primitives ---
-
-void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
-
-void PutU32(std::string* out, uint32_t v) {
-  for (int i = 0; i < 4; i++) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutU64(std::string* out, uint64_t v) {
-  for (int i = 0; i < 8; i++) {
-    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-  }
-}
-
-void PutF64(std::string* out, double v) {
-  uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
-  std::memcpy(&bits, &v, sizeof(bits));
-  PutU64(out, bits);
-}
-
-void PutStr(std::string* out, const std::string& s) {
-  PutU32(out, static_cast<uint32_t>(s.size()));
-  out->append(s);
-}
-
-size_t StrWireBytes(const std::string& s) { return 4 + s.size(); }
-
-// --- defensive cursor over an in-memory payload ---
-
-struct Cursor {
-  const unsigned char* p;
-  size_t n;
-  size_t pos = 0;
-
-  bool TakeU8(uint8_t* v) {
-    if (pos + 1 > n) {
-      return false;
-    }
-    *v = p[pos++];
-    return true;
-  }
-  bool TakeU32(uint32_t* v) {
-    if (pos + 4 > n) {
-      return false;
-    }
-    *v = 0;
-    for (int i = 0; i < 4; i++) {
-      *v |= static_cast<uint32_t>(p[pos + static_cast<size_t>(i)]) << (8 * i);
-    }
-    pos += 4;
-    return true;
-  }
-  bool TakeU64(uint64_t* v) {
-    if (pos + 8 > n) {
-      return false;
-    }
-    *v = 0;
-    for (int i = 0; i < 8; i++) {
-      *v |= static_cast<uint64_t>(p[pos + static_cast<size_t>(i)]) << (8 * i);
-    }
-    pos += 8;
-    return true;
-  }
-  bool TakeF64(double* v) {
-    uint64_t bits;
-    if (!TakeU64(&bits)) {
-      return false;
-    }
-    std::memcpy(v, &bits, sizeof(*v));
-    return true;
-  }
-  bool TakeStr(std::string* s) {
-    uint32_t len;
-    if (!TakeU32(&len) || pos + len > n) {
-      return false;
-    }
-    s->assign(reinterpret_cast<const char*>(p) + pos, len);
-    pos += len;
-    return true;
-  }
-  bool SkipStr() {
-    uint32_t len;
-    if (!TakeU32(&len) || pos + len > n) {
-      return false;
-    }
-    pos += len;
-    return true;
-  }
-  bool AtEnd() const { return pos == n; }
-
-  size_t Remaining() const { return n - pos; }
-
-  // True when a declared element count could fit in the remaining payload, each element
-  // costing at least `min_element_bytes`. Checked before any reserve/loop so a forged
-  // count can neither trigger a huge allocation (vector::reserve would throw, and this
-  // codebase is exception-free) nor spin a long loop.
-  bool CountFits(uint64_t count, size_t min_element_bytes) const {
-    return count <= Remaining() / min_element_bytes;
-  }
-};
-
-Cursor MakeCursor(const std::string& bytes) {
-  return Cursor{reinterpret_cast<const unsigned char*>(bytes.data()), bytes.size()};
-}
-
-// --- file sink: buffered FILE* writes with sticky failure, or pure byte counting ---
+// --- record sink: writes v2 records to a WritableFile (sticky failure), or counts ---
 
 class Sink {
  public:
   Sink() = default;  // Counting only.
-  explicit Sink(std::FILE* f) : file_(f) {}
-
-  void Write(const char* p, size_t n) {
-    if (file_ != nullptr && !failed_ && std::fwrite(p, 1, n, file_) != n) {
-      failed_ = true;
-    }
-    bytes_ += n;
-  }
-  void Write(const std::string& s) { Write(s.data(), s.size()); }
+  explicit Sink(WritableFile* f, size_t bytes = 0, uint64_t records = 0)
+      : file_(f), bytes_(bytes), records_(records) {}
 
   void WriteHeader(wire::Section section) {
-    std::string h;
-    h.append(wire::kMagic, sizeof(wire::kMagic));
-    PutU32(&h, wire::kFormatVersion);
-    PutU8(&h, static_cast<uint8_t>(section));
-    Write(h);
+    Write(wire::EnvelopeHeader(section));
   }
 
   void WriteRecord(uint8_t type, const std::string& payload) {
     std::string frame;
     PutU8(&frame, type);
     PutU64(&frame, payload.size());
+    PutU32(&frame, Crc32c(payload));
     Write(frame);
     Write(payload);
+    records_++;
   }
 
-  void WriteEnd() { WriteRecord(wire::kEndRecord, std::string()); }
+  // The v2 end record carries the footer: the non-end record count and the byte offset
+  // where the end record's own frame begins, so a reader proves it saw the whole section.
+  void WriteEnd() {
+    std::string footer;
+    PutU64(&footer, records_);
+    PutU64(&footer, bytes_);
+    std::string frame;
+    PutU8(&frame, wire::kEndRecord);
+    PutU64(&frame, footer.size());
+    PutU32(&frame, Crc32c(footer));
+    Write(frame);
+    Write(footer);
+  }
 
   bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
   size_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
 
  private:
-  std::FILE* file_ = nullptr;
+  void Write(const std::string& s) {
+    if (file_ != nullptr && !failed_) {
+      if (Status st = file_->Append(s); !st.ok()) {
+        failed_ = true;
+        error_ = st.error();
+      }
+    }
+    bytes_ += s.size();
+  }
+
+  WritableFile* file_ = nullptr;
   bool failed_ = false;
+  std::string error_;
   size_t bytes_ = 0;
+  uint64_t records_ = 0;
 };
 
 Status SinkStatus(const Sink& sink, const std::string& path) {
   if (sink.failed()) {
-    return Status::Error("wire: short write to " + path);
+    return sink.error().empty() ? Status::Error("wire: short write to " + path)
+                                : Status::Error(sink.error());
   }
   return Status::Ok();
 }
 
-Status CloseFile(std::FILE** f, const std::string& path, Status pending) {
-  if (*f != nullptr) {
-    int rc = std::fclose(*f);
-    *f = nullptr;
-    if (rc != 0 && pending.ok()) {
-      return Status::Error("wire: close failed for " + path);
-    }
-  }
-  return pending;
-}
-
-// Validates the 13-byte envelope header against the expected section kind.
-Status CheckHeader(const unsigned char* h, wire::Section want, const std::string& path) {
+// Validates the 13-byte envelope header against the expected section kind. Fills
+// *version with the (accepted) format version.
+Status CheckHeader(const unsigned char* h, wire::Section want, const std::string& path,
+                   uint32_t* version) {
   if (std::memcmp(h, wire::kMagic, sizeof(wire::kMagic)) != 0) {
     return Status::Error("wire: bad magic in " + path);
   }
-  uint32_t version = 0;
+  uint32_t v = 0;
   for (int i = 0; i < 4; i++) {
-    version |= static_cast<uint32_t>(h[sizeof(wire::kMagic) + i]) << (8 * i);
+    v |= static_cast<uint32_t>(h[sizeof(wire::kMagic) + i]) << (8 * i);
   }
-  if (version != wire::kFormatVersion) {
-    return Status::Error("wire: unsupported format version " + std::to_string(version) +
-                         " in " + path);
+  if (v < wire::kMinFormatVersion || v > wire::kFormatVersion) {
+    return Status::Error("wire: unsupported format version " + std::to_string(v) + " in " +
+                         path);
   }
+  *version = v;
   uint8_t section = h[sizeof(wire::kMagic) + 4];
   if (section != static_cast<uint8_t>(want)) {
     return Status::Error("wire: " + path + " holds section kind " + std::to_string(section) +
@@ -225,46 +140,192 @@ Status CheckHeader(const unsigned char* h, wire::Section want, const std::string
   return Status::Ok();
 }
 
-Status ReadHeaderFromFile(std::FILE* f, wire::Section want, const std::string& path) {
-  unsigned char h[kHeaderBytes];
-  if (std::fread(h, 1, sizeof(h), f) != sizeof(h)) {
-    return Status::Error("wire: truncated header in " + path);
-  }
-  return CheckHeader(h, want, path);
+}  // namespace
+
+namespace wire {
+
+std::string EnvelopeHeader(Section section) {
+  std::string h;
+  h.append(kMagic, sizeof(kMagic));
+  wire_primitives::PutU32(&h, kFormatVersion);
+  wire_primitives::PutU8(&h, static_cast<uint8_t>(section));
+  return h;
 }
 
-// Reads one record frame + payload. Returns false on the end record; errors on
-// truncation, oversized lengths, or trailing bytes after the end record.
-Result<bool> ReadRecordFromFile(std::FILE* f, const std::string& path, uint8_t* type,
-                                std::string* payload) {
-  unsigned char frame[kRecordFrameBytes];
-  if (std::fread(frame, 1, sizeof(frame), f) != sizeof(frame)) {
-    return Result<bool>::Error("wire: truncated record frame in " + path);
+void AppendRecordFrame(std::string* out, uint8_t type, const std::string& payload) {
+  wire_primitives::PutU8(out, type);
+  wire_primitives::PutU64(out, payload.size());
+  wire_primitives::PutU32(out, Crc32c(payload));
+  out->append(payload);
+}
+
+bool ParseRecordFrameV2(const char* data, size_t n, uint8_t* type, uint64_t* len,
+                        uint32_t* crc) {
+  if (n < kRecordFrameBytesV2) {
+    return false;
   }
-  *type = frame[0];
-  uint64_t len = 0;
-  for (int i = 0; i < 8; i++) {
-    len |= static_cast<uint64_t>(frame[1 + i]) << (8 * i);
-  }
-  if (*type == wire::kEndRecord) {
-    if (len != 0) {
-      return Result<bool>::Error("wire: end record with nonzero length in " + path);
+  wire_primitives::Cursor c{reinterpret_cast<const unsigned char*>(data), n};
+  return c.TakeU8(type) && c.TakeU64(len) && c.TakeU32(crc);
+}
+
+// Version-aware record stream over one open section file: validates the envelope header
+// on Open, then yields records until the end record, verifying per-record CRCs and the
+// footer for v2 files. All reads retry transient faults (ReadFullAt); every error names
+// the file and the byte offset, so corruption localizes to an exact record.
+class RecordStream {
+ public:
+  Status Open(Env* env, const std::string& path, Section want) {
+    path_ = path;
+    Result<std::unique_ptr<ReadableFile>> f = ResolveEnv(env)->OpenRead(path);
+    if (!f.ok()) {
+      return Status::Error(f.error());
     }
-    if (std::fgetc(f) != EOF) {
-      return Result<bool>::Error("wire: trailing bytes after end record in " + path);
+    file_ = std::move(f).value();
+    unsigned char h[kEnvelopeHeaderBytes];
+    Result<size_t> got = ReadUpToAt(file_.get(), path_, 0, sizeof(h),
+                                    reinterpret_cast<char*>(h));
+    if (!got.ok()) {
+      return Status::Error(got.error());
+    }
+    if (got.value() != sizeof(h)) {
+      return Status::Error("wire: truncated header in " + path_);
+    }
+    if (Status st = CheckHeader(h, want, path_, &version_); !st.ok()) {
+      return st;
+    }
+    pos_ = kEnvelopeHeaderBytes;
+    return Status::Ok();
+  }
+
+  // True: *type/*payload hold the next record. False: end record consumed and validated
+  // (footer counts for v2, no trailing bytes either way).
+  Result<bool> Next(uint8_t* type, std::string* payload) {
+    const size_t frame_bytes =
+        version_ >= 2 ? kRecordFrameBytesV2 : kRecordFrameBytesV1;
+    const uint64_t frame_start = pos_;
+    unsigned char frame[kRecordFrameBytesV2];
+    Result<size_t> got = ReadUpToAt(file_.get(), path_, frame_start, frame_bytes,
+                                    reinterpret_cast<char*>(frame));
+    if (!got.ok()) {
+      return Result<bool>::Error(got.error());
+    }
+    if (got.value() != frame_bytes) {
+      return Result<bool>::Error("wire: truncated record frame at offset " +
+                                 std::to_string(frame_start) + " in " + path_);
+    }
+    *type = frame[0];
+    uint64_t len = 0;
+    for (int i = 0; i < 8; i++) {
+      len |= static_cast<uint64_t>(frame[1 + i]) << (8 * i);
+    }
+    uint32_t crc = 0;
+    if (version_ >= 2) {
+      for (int i = 0; i < 4; i++) {
+        crc |= static_cast<uint32_t>(frame[9 + i]) << (8 * i);
+      }
+    }
+    if (*type == kEndRecord) {
+      return FinishAtEnd(frame_start, len, crc);
+    }
+    if (len > kMaxRecordBytes) {
+      return Result<bool>::Error("wire: record length " + std::to_string(len) +
+                                 " exceeds limit in " + path_);
+    }
+    const uint64_t payload_offset = frame_start + frame_bytes;
+    payload->resize(static_cast<size_t>(len));
+    if (len > 0) {
+      Result<size_t> body = ReadUpToAt(file_.get(), path_, payload_offset,
+                                       payload->size(), &(*payload)[0]);
+      if (!body.ok()) {
+        return Result<bool>::Error(body.error());
+      }
+      if (body.value() != payload->size()) {
+        return Result<bool>::Error("wire: truncated record payload at offset " +
+                                   std::to_string(payload_offset) + " in " + path_);
+      }
+    }
+    const uint32_t payload_crc = Crc32c(*payload);
+    if (version_ >= 2 && payload_crc != crc) {
+      return Result<bool>::Error(
+          "wire: crc mismatch in record " + std::to_string(records_) + " (type " +
+          std::to_string(*type) + ") at offset " + std::to_string(frame_start) + " in " +
+          path_);
+    }
+    pos_ = payload_offset + payload->size();
+    records_++;
+    last_payload_offset_ = payload_offset;
+    last_crc_ = payload_crc;
+    return true;
+  }
+
+  uint32_t version() const { return version_; }
+  const std::string& path() const { return path_; }
+  uint64_t last_payload_offset() const { return last_payload_offset_; }
+  uint32_t last_crc() const { return last_crc_; }
+
+ private:
+  Result<bool> FinishAtEnd(uint64_t frame_start, uint64_t len, uint32_t crc) {
+    uint64_t after;  // Offset of the first byte past the section.
+    if (version_ >= 2) {
+      if (len != kFooterPayloadBytes) {
+        return Result<bool>::Error("wire: malformed end record at offset " +
+                                   std::to_string(frame_start) + " in " + path_);
+      }
+      char footer[kFooterPayloadBytes];
+      const uint64_t footer_offset = frame_start + kRecordFrameBytesV2;
+      Result<size_t> got =
+          ReadUpToAt(file_.get(), path_, footer_offset, sizeof(footer), footer);
+      if (!got.ok()) {
+        return Result<bool>::Error(got.error());
+      }
+      if (got.value() != sizeof(footer)) {
+        return Result<bool>::Error("wire: truncated footer in " + path_);
+      }
+      if (Crc32c(footer, sizeof(footer)) != crc) {
+        return Result<bool>::Error("wire: crc mismatch in footer of " + path_);
+      }
+      Cursor c{reinterpret_cast<const unsigned char*>(footer), sizeof(footer)};
+      uint64_t record_count = 0, end_offset = 0;
+      (void)c.TakeU64(&record_count);
+      (void)c.TakeU64(&end_offset);
+      if (record_count != records_) {
+        return Result<bool>::Error(
+            "wire: footer record count " + std::to_string(record_count) + " != " +
+            std::to_string(records_) + " records read in " + path_);
+      }
+      if (end_offset != frame_start) {
+        return Result<bool>::Error("wire: footer end-offset mismatch in " + path_);
+      }
+      after = footer_offset + sizeof(footer);
+    } else {
+      if (len != 0) {
+        return Result<bool>::Error("wire: end record with nonzero length in " + path_);
+      }
+      after = frame_start + kRecordFrameBytesV1;
+    }
+    char probe;
+    Result<size_t> trailing = ReadUpToAt(file_.get(), path_, after, 1, &probe);
+    if (!trailing.ok()) {
+      return Result<bool>::Error(trailing.error());
+    }
+    if (trailing.value() != 0) {
+      return Result<bool>::Error("wire: trailing bytes after end record in " + path_);
     }
     return false;
   }
-  if (len > kMaxRecordBytes) {
-    return Result<bool>::Error("wire: record length " + std::to_string(len) +
-                               " exceeds limit in " + path);
-  }
-  payload->resize(static_cast<size_t>(len));
-  if (len > 0 && std::fread(&(*payload)[0], 1, payload->size(), f) != payload->size()) {
-    return Result<bool>::Error("wire: truncated record payload in " + path);
-  }
-  return true;
-}
+
+  std::unique_ptr<ReadableFile> file_;
+  std::string path_;
+  uint32_t version_ = 0;
+  uint64_t pos_ = 0;      // File offset of the next record frame.
+  uint64_t records_ = 0;  // Non-end records yielded so far.
+  uint64_t last_payload_offset_ = 0;
+  uint32_t last_crc_ = 0;
+};
+
+}  // namespace wire
+
+namespace {
 
 // --- trace event payloads ---
 
@@ -387,6 +448,21 @@ void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
     sink->WriteRecord(kRecNondet, payload);
   }
   sink->WriteEnd();
+}
+
+// Writes one whole section atomically: temp file + fsync + rename-into-place.
+template <typename WriteFn>
+Status WriteSectionFileAtomically(const std::string& path, Env* env, WriteFn&& write_fn) {
+  AtomicFileWriter atomic;
+  if (Status st = atomic.Open(env, path); !st.ok()) {
+    return st;
+  }
+  Sink sink(atomic.file());
+  write_fn(&sink);
+  if (Status st = SinkStatus(sink, path); !st.ok()) {
+    return st;
+  }
+  return atomic.Commit();
 }
 
 }  // namespace
@@ -741,6 +817,11 @@ Status DecodeStateRecord(uint8_t type, const std::string& payload, const std::st
       if (!c.TakeStr(&table) || !c.TakeU32(&ncols)) {
         return Status::Error("wire: malformed table record in " + path);
       }
+      // Each column costs at least its length-prefixed name + 1-byte type tag.
+      if (!c.CountFits(ncols, 4 + 1)) {
+        return Status::Error("wire: table column count " + std::to_string(ncols) +
+                             " exceeds payload in " + path);
+      }
       std::vector<ColumnDef> schema;
       schema.reserve(ncols);
       for (uint32_t i = 0; i < ncols; i++) {
@@ -796,97 +877,114 @@ Status DecodeStateRecord(uint8_t type, const std::string& payload, const std::st
   }
 }
 
-// Drives the record loop shared by the reports and state readers.
+// Drives the record loop shared by the reports, state, and manifest readers.
 template <typename Fn>
-Status ReadSectionFile(const std::string& path, wire::Section section, Fn&& on_record) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    return Status::Error("wire: cannot open " + path);
+Status ReadSectionFile(const std::string& path, wire::Section section, Env* env,
+                       Fn&& on_record) {
+  wire::RecordStream stream;
+  if (Status st = stream.Open(env, path, section); !st.ok()) {
+    return st;
   }
-  Status st = ReadHeaderFromFile(f, section, path);
   std::string payload;
-  while (st.ok()) {
+  while (true) {
     uint8_t type = 0;
-    Result<bool> more = ReadRecordFromFile(f, path, &type, &payload);
+    Result<bool> more = stream.Next(&type, &payload);
     if (!more.ok()) {
-      st = Status::Error(more.error());
-      break;
+      return Status::Error(more.error());
     }
     if (!more.value()) {
-      break;
+      return Status::Ok();
     }
-    st = on_record(type, payload);
+    if (Status st = on_record(type, payload); !st.ok()) {
+      return st;
+    }
   }
-  return CloseFile(&f, path, st);
 }
 
 }  // namespace
 
 // --- TraceWriter / TraceReader ---
 
-TraceWriter::~TraceWriter() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-  }
-}
+TraceWriter::~TraceWriter() = default;
 
-Status TraceWriter::Open(const std::string& path, uint32_t shard_id) {
-  if (file_ != nullptr) {
+Status TraceWriter::Open(const std::string& path, uint32_t shard_id, Env* env) {
+  if (open_) {
     return Status::Error("wire: TraceWriter already open");
   }
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) {
-    return Status::Error("wire: cannot create " + path);
+  if (Status st = atomic_.Open(env, path); !st.ok()) {
+    return st;
   }
-  Sink sink(file_);
+  open_ = true;
+  path_ = path;
+  bytes_ = 0;
+  records_ = 0;
+  error_.clear();
+  Sink sink(atomic_.file(), bytes_, records_);
   sink.WriteHeader(wire::Section::kTrace);
   if (shard_id != 0) {
     std::string payload;
     PutU32(&payload, shard_id);
     sink.WriteRecord(kRecShardInfo, payload);
   }
-  return SinkStatus(sink, path);
+  bytes_ = sink.bytes();
+  records_ = sink.records();
+  if (Status st = SinkStatus(sink, path_); !st.ok()) {
+    error_ = st.error();
+    return st;
+  }
+  return Status::Ok();
 }
 
 Status TraceWriter::Append(const TraceEvent& event) {
-  if (file_ == nullptr) {
+  if (!open_) {
     return Status::Error("wire: TraceWriter is not open");
   }
+  if (!error_.empty()) {
+    return Status::Error(error_);
+  }
   EncodeTraceEvent(event, &scratch_);
-  Sink sink(file_);
+  Sink sink(atomic_.file(), bytes_, records_);
   sink.WriteRecord(TraceEventRecordType(event), scratch_);
-  return SinkStatus(sink, "trace file");
+  bytes_ = sink.bytes();
+  records_ = sink.records();
+  if (Status st = SinkStatus(sink, path_); !st.ok()) {
+    error_ = st.error();
+    return st;
+  }
+  return Status::Ok();
 }
 
 Status TraceWriter::Finish() {
-  if (file_ == nullptr) {
+  if (!open_) {
     return Status::Error("wire: TraceWriter is not open");
   }
-  Sink sink(file_);
-  sink.WriteEnd();
-  Status st = SinkStatus(sink, "trace file");
-  return CloseFile(&file_, "trace file", st);
-}
-
-TraceReader::~TraceReader() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
+  if (!error_.empty()) {
+    return Status::Error(error_);
   }
+  Sink sink(atomic_.file(), bytes_, records_);
+  sink.WriteEnd();
+  bytes_ = sink.bytes();
+  open_ = false;  // One way or another, this writer is finished.
+  if (Status st = SinkStatus(sink, path_); !st.ok()) {
+    error_ = st.error();
+    return st;
+  }
+  return atomic_.Commit();
 }
 
-Status TraceReader::Open(const std::string& path) {
-  if (file_ != nullptr) {
+TraceReader::TraceReader() = default;
+
+TraceReader::~TraceReader() = default;
+
+Status TraceReader::Open(const std::string& path, Env* env) {
+  if (stream_ != nullptr) {
     return Status::Error("wire: TraceReader already open");
   }
-  file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) {
-    return Status::Error("wire: cannot open " + path);
+  auto stream = std::make_unique<wire::RecordStream>();
+  if (Status st = stream->Open(env, path, wire::Section::kTrace); !st.ok()) {
+    return st;
   }
-  Status st = ReadHeaderFromFile(file_, wire::Section::kTrace, path);
-  if (!st.ok()) {
-    return CloseFile(&file_, path, st);
-  }
-  pos_ = kHeaderBytes;
+  stream_ = std::move(stream);
   return Status::Ok();
 }
 
@@ -898,46 +996,42 @@ Result<bool> TraceReader::Next(TraceEvent* event) {
     }
     return false;
   }
-  if (file_ == nullptr) {
+  if (stream_ == nullptr) {
     return Result<bool>::Error("wire: TraceReader is not open");
   }
   auto fail = [&](const std::string& message) {
     done_ = true;
-    (void)CloseFile(&file_, "trace file", Status::Ok());
+    stream_.reset();
     error_ = message;
     return Result<bool>::Error(error_);
   };
   while (true) {
     uint8_t type = 0;
-    Result<bool> more = ReadRecordFromFile(file_, "trace file", &type, &scratch_);
-    if (!more.ok() || !more.value()) {
+    Result<bool> more = stream_->Next(&type, &scratch_);
+    if (!more.ok()) {
+      return fail(more.error());
+    }
+    if (!more.value()) {
       done_ = true;
-      Status st =
-          CloseFile(&file_, "trace file", more.ok() ? Status::Ok() : Status::Error(more.error()));
-      if (!st.ok()) {
-        error_ = st.error();
-        return Result<bool>::Error(error_);
-      }
+      stream_.reset();
       return false;
     }
-    const uint64_t payload_offset = pos_ + kRecordFrameBytes;
-    pos_ = payload_offset + scratch_.size();
     if (type == kRecShardInfo) {
       // An in-section header: positional like the envelope header, so it must come first
       // and must not repeat (a late or second one is a splice, not a valid layout).
       if (saw_shard_info_) {
-        return fail("wire: duplicate shard-info record in trace file");
+        return fail("wire: duplicate shard-info record in " + stream_->path());
       }
       if (records_seen_ != 0) {
-        return fail("wire: out-of-order shard-info record in trace file");
+        return fail("wire: out-of-order shard-info record in " + stream_->path());
       }
       Cursor c = MakeCursor(scratch_);
       uint32_t id = 0;
       if (!c.TakeU32(&id) || !c.AtEnd()) {
-        return fail("wire: malformed shard-info record in trace file");
+        return fail("wire: malformed shard-info record in " + stream_->path());
       }
       if (id == 0) {
-        return fail("wire: shard-info record with shard id 0 in trace file");
+        return fail("wire: shard-info record with shard id 0 in " + stream_->path());
       }
       saw_shard_info_ = true;
       records_seen_++;
@@ -945,21 +1039,23 @@ Result<bool> TraceReader::Next(TraceEvent* event) {
       continue;
     }
     records_seen_++;
-    Result<TraceEvent> decoded = DecodeTraceEvent(type, scratch_, "trace file");
+    Result<TraceEvent> decoded = DecodeTraceEvent(type, scratch_, stream_->path());
     if (!decoded.ok()) {
       return fail(decoded.error());
     }
     *event = std::move(decoded).value();
-    last_payload_offset_ = payload_offset;
+    last_payload_offset_ = stream_->last_payload_offset();
     last_payload_bytes_ = scratch_.size();
     last_record_type_ = type;
+    last_payload_crc_ = stream_->last_crc();
     return true;
   }
 }
 
-Status WriteTraceFile(const std::string& path, const Trace& trace, uint32_t shard_id) {
+Status WriteTraceFile(const std::string& path, const Trace& trace, uint32_t shard_id,
+                      Env* env) {
   TraceWriter writer;
-  if (Status st = writer.Open(path, shard_id); !st.ok()) {
+  if (Status st = writer.Open(path, shard_id, env); !st.ok()) {
     return st;
   }
   for (const TraceEvent& e : trace.events) {
@@ -970,9 +1066,9 @@ Status WriteTraceFile(const std::string& path, const Trace& trace, uint32_t shar
   return writer.Finish();
 }
 
-Result<Trace> ReadTraceFile(const std::string& path) {
+Result<Trace> ReadTraceFile(const std::string& path, Env* env) {
   TraceReader reader;
-  if (Status st = reader.Open(path); !st.ok()) {
+  if (Status st = reader.Open(path, env); !st.ok()) {
     return Result<Trace>::Error(st.error());
   }
   Trace trace;
@@ -996,36 +1092,33 @@ Result<TraceEvent> DecodeTraceEventPayload(uint8_t record_type, const std::strin
 
 // --- Shard manifest files ---
 
-Status WriteShardManifestFile(const std::string& path, const ShardManifest& manifest) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Error("wire: cannot create " + path);
-  }
-  Sink sink(f);
-  sink.WriteHeader(wire::Section::kManifest);
-  std::string payload;
-  if (manifest.epoch != 0) {
-    PutU64(&payload, manifest.epoch);
-    sink.WriteRecord(kRecManifestEpoch, payload);
-  }
-  for (const ShardManifestEntry& shard : manifest.shards) {
-    payload.clear();
-    PutU32(&payload, shard.shard_id);
-    PutStr(&payload, shard.trace_file);
-    PutStr(&payload, shard.reports_file);
-    sink.WriteRecord(kRecManifestShard, payload);
-  }
-  sink.WriteEnd();
-  return CloseFile(&f, path, SinkStatus(sink, path));
+Status WriteShardManifestFile(const std::string& path, const ShardManifest& manifest,
+                              Env* env) {
+  return WriteSectionFileAtomically(path, env, [&](Sink* sink) {
+    sink->WriteHeader(wire::Section::kManifest);
+    std::string payload;
+    if (manifest.epoch != 0) {
+      PutU64(&payload, manifest.epoch);
+      sink->WriteRecord(kRecManifestEpoch, payload);
+    }
+    for (const ShardManifestEntry& shard : manifest.shards) {
+      payload.clear();
+      PutU32(&payload, shard.shard_id);
+      PutStr(&payload, shard.trace_file);
+      PutStr(&payload, shard.reports_file);
+      sink->WriteRecord(kRecManifestShard, payload);
+    }
+    sink->WriteEnd();
+  });
 }
 
-Result<ShardManifest> ReadShardManifestFile(const std::string& path) {
+Result<ShardManifest> ReadShardManifestFile(const std::string& path, Env* env) {
   ShardManifest out;
   bool saw_epoch = false;
   bool saw_shard = false;
   std::set<uint32_t> shard_ids;
   Status st = ReadSectionFile(
-      path, wire::Section::kManifest, [&](uint8_t type, const std::string& payload) {
+      path, wire::Section::kManifest, env, [&](uint8_t type, const std::string& payload) {
         Cursor c = MakeCursor(payload);
         switch (type) {
           case kRecManifestEpoch:
@@ -1069,21 +1162,18 @@ Result<ShardManifest> ReadShardManifestFile(const std::string& path) {
 
 // --- ReportsWriter / ReportsReader ---
 
-Status ReportsWriter::WriteFile(const std::string& path, const Reports& reports) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Error("wire: cannot create " + path);
-  }
-  Sink sink(f);
-  WriteReportsToSink(&sink, reports, /*nondet_only=*/false);
-  return CloseFile(&f, path, SinkStatus(sink, path));
+Status ReportsWriter::WriteFile(const std::string& path, const Reports& reports,
+                                Env* env) {
+  return WriteSectionFileAtomically(path, env, [&](Sink* sink) {
+    WriteReportsToSink(sink, reports, /*nondet_only=*/false);
+  });
 }
 
-Result<Reports> ReportsReader::ReadFile(const std::string& path) {
+Result<Reports> ReportsReader::ReadFile(const std::string& path, Env* env) {
   // Drives the same streaming reader + per-record decoder the out-of-core index uses, so
   // the two paths accept exactly the same byte streams with exactly the same errors.
   ReportsRecordReader reader;
-  if (Status st = reader.Open(path); !st.ok()) {
+  if (Status st = reader.Open(path, env); !st.ok()) {
     return Result<Reports>::Error(st.error());
   }
   Reports out;
@@ -1106,26 +1196,19 @@ Result<Reports> ReportsReader::ReadFile(const std::string& path) {
   return out;
 }
 
-ReportsRecordReader::~ReportsRecordReader() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-  }
-}
+ReportsRecordReader::ReportsRecordReader() = default;
 
-Status ReportsRecordReader::Open(const std::string& path) {
-  if (file_ != nullptr) {
+ReportsRecordReader::~ReportsRecordReader() = default;
+
+Status ReportsRecordReader::Open(const std::string& path, Env* env) {
+  if (stream_ != nullptr) {
     return Status::Error("wire: ReportsRecordReader already open");
   }
-  file_ = std::fopen(path.c_str(), "rb");
-  if (file_ == nullptr) {
-    return Status::Error("wire: cannot open " + path);
+  auto stream = std::make_unique<wire::RecordStream>();
+  if (Status st = stream->Open(env, path, wire::Section::kReports); !st.ok()) {
+    return st;
   }
-  path_ = path;
-  Status st = ReadHeaderFromFile(file_, wire::Section::kReports, path);
-  if (!st.ok()) {
-    return CloseFile(&file_, path, st);
-  }
-  pos_ = kHeaderBytes;
+  stream_ = std::move(stream);
   return Status::Ok();
 }
 
@@ -1137,43 +1220,38 @@ Result<bool> ReportsRecordReader::Next(uint8_t* type, std::string* payload) {
     }
     return false;
   }
-  if (file_ == nullptr) {
+  if (stream_ == nullptr) {
     return Result<bool>::Error("wire: ReportsRecordReader is not open");
   }
-  Result<bool> more = ReadRecordFromFile(file_, path_, type, payload);
+  Result<bool> more = stream_->Next(type, payload);
   if (!more.ok() || !more.value()) {
     done_ = true;
-    Status st =
-        CloseFile(&file_, path_, more.ok() ? Status::Ok() : Status::Error(more.error()));
-    if (!st.ok()) {
-      error_ = st.error();
+    stream_.reset();
+    if (!more.ok()) {
+      error_ = more.error();
       return Result<bool>::Error(error_);
     }
     return false;
   }
-  last_payload_offset_ = pos_ + kRecordFrameBytes;
+  last_payload_offset_ = stream_->last_payload_offset();
   last_payload_bytes_ = payload->size();
-  pos_ = last_payload_offset_ + payload->size();
+  last_payload_crc_ = stream_->last_crc();
   return true;
 }
 
 // --- InitialState files ---
 
-Status WriteInitialStateFile(const std::string& path, const InitialState& state) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Error("wire: cannot create " + path);
-  }
-  Sink sink(f);
-  WriteStateToSink(&sink, state);
-  return CloseFile(&f, path, SinkStatus(sink, path));
+Status WriteInitialStateFile(const std::string& path, const InitialState& state,
+                             Env* env) {
+  return WriteSectionFileAtomically(
+      path, env, [&](Sink* sink) { WriteStateToSink(sink, state); });
 }
 
-Result<InitialState> ReadInitialStateFile(const std::string& path) {
+Result<InitialState> ReadInitialStateFile(const std::string& path, Env* env) {
   InitialState out;
   bool saw_registers = false;
   bool saw_kv = false;
-  Status st = ReadSectionFile(path, wire::Section::kState,
+  Status st = ReadSectionFile(path, wire::Section::kState, env,
                               [&](uint8_t type, const std::string& payload) {
                                 return DecodeStateRecord(type, payload, path, &saw_registers,
                                                          &saw_kv, &out);
@@ -1188,9 +1266,10 @@ Result<InitialState> ReadInitialStateFile(const std::string& path) {
 
 size_t TraceWireBytes(const Trace& trace) {
   // Sum record sizes directly instead of re-encoding: framing + fixed fields + strings.
-  size_t bytes = kHeaderBytes + kRecordFrameBytes;  // Header + end record.
+  size_t bytes = kHeaderBytes +
+                 kRecordFrameBytesV2 + wire::kFooterPayloadBytes;  // Header + end record.
   for (const TraceEvent& e : trace.events) {
-    bytes += kRecordFrameBytes + 8;  // rid.
+    bytes += kRecordFrameBytesV2 + 8;  // rid.
     if (e.kind == TraceEvent::Kind::kRequest) {
       bytes += StrWireBytes(e.script) + 4;
       for (const auto& [k, v] : e.params) {

@@ -1,16 +1,27 @@
 // Versioned binary wire format decoupling the collector/executor from the auditor
 // (paper §2, §4.5 deployment model): the trusted collector spills the trace per epoch,
 // the executor spills its reports, and the verifier later audits the files in a separate
-// process via AuditSession. Three section kinds share one envelope:
+// process via AuditSession. The section kinds share one envelope:
 //
 //   header:  8-byte magic "OROCHIWF", u32 format version (little-endian), u8 section kind
-//   records: u8 record type, u64 payload length, payload bytes
-//   footer:  the end record (type 0, length 0)
+//   records: v2: u8 record type, u64 payload length, u32 CRC32C(payload), payload bytes
+//            v1: u8 record type, u64 payload length, payload bytes
+//   footer:  the end record (type 0). In v2 it carries a 16-byte CRC-protected payload —
+//            u64 record count (excluding the end record) and the u64 byte offset of the
+//            end record's own frame — so a reader proves it saw the complete section.
+//            In v1 the end record is empty.
+//
+// Writers emit v2; readers accept v1 and v2, so pre-existing spill files stay readable.
+// All writes are crash-safe: temp file + fsync + rename-into-place, so a reader only ever
+// observes a previous complete file or the new complete file. All file I/O goes through a
+// pluggable Env (src/common/io_env.h); nullptr means Env::Default().
 //
 // All integers are little-endian; strings are u32 length + raw bytes; wscript Values ride
 // as their canonical Serialize() form. A file is rejected (Status/Result error, never a
-// crash) on bad magic, unsupported version, wrong section kind, truncation, or malformed
-// payloads — report and state files cross a trust boundary, so readers parse defensively.
+// crash) on bad magic, unsupported version, wrong section kind, truncation, checksum
+// mismatch, or malformed payloads — report and state files cross a trust boundary, so
+// readers parse defensively, and v2 errors localize corruption to an exact record with
+// file and byte-offset context.
 //
 // The same encoders back the exact byte accounting (`TraceWireBytes`, `ReportsWireBytes`,
 // `InitialStateWireBytes`) used by the Figure 8 overhead columns, so reported sizes equal
@@ -19,12 +30,13 @@
 #define SRC_OBJECTS_WIRE_FORMAT_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/common/io_env.h"
 #include "src/common/result.h"
 #include "src/objects/reports.h"
 #include "src/objects/stores.h"
@@ -35,12 +47,29 @@ namespace orochi {
 namespace wire {
 
 inline constexpr char kMagic[8] = {'O', 'R', 'O', 'C', 'H', 'I', 'W', 'F'};
-inline constexpr uint32_t kFormatVersion = 1;
+// What writers emit / the newest version readers accept.
+inline constexpr uint32_t kFormatVersion = 2;
+// The oldest version readers still accept (v1: no per-record CRC, empty end record).
+inline constexpr uint32_t kMinFormatVersion = 1;
 
-enum class Section : uint8_t { kTrace = 1, kReports = 2, kState = 3, kManifest = 4 };
+enum class Section : uint8_t {
+  kTrace = 1,
+  kReports = 2,
+  kState = 3,
+  kManifest = 4,
+  // Sidecar journal of completed pass-2 chunks for resumable audits
+  // (src/stream/checkpoint.h).
+  kCheckpoint = 5,
+};
 
-// Record type 0 with an empty payload terminates every section.
+// Record type 0 terminates every section (empty in v1, footer payload in v2).
 inline constexpr uint8_t kEndRecord = 0;
+
+// Envelope and v2 frame sizes, public for sidecar files sharing the envelope and for
+// offset arithmetic in tests.
+inline constexpr size_t kEnvelopeHeaderBytes = sizeof(kMagic) + 4 /*version*/ + 1 /*section*/;
+inline constexpr size_t kRecordFrameBytesV2 = 1 /*type*/ + 8 /*length*/ + 4 /*crc*/;
+inline constexpr size_t kFooterPayloadBytes = 8 /*record count*/ + 8 /*end offset*/;
 
 // Trace-section record types, public because the out-of-core audit re-reads individual
 // records by (offset, length, type) long after the streaming pass that indexed them.
@@ -60,6 +89,19 @@ inline constexpr uint8_t kReportsRecGroup = 3;
 inline constexpr uint8_t kReportsRecOpCounts = 4;
 inline constexpr uint8_t kReportsRecNondet = 5;
 
+// The 13-byte envelope header for `section` at kFormatVersion, for sidecar writers.
+std::string EnvelopeHeader(Section section);
+
+// Appends one v2 record (frame + CRC + payload) to `out`, for sidecar writers.
+void AppendRecordFrame(std::string* out, uint8_t type, const std::string& payload);
+
+// Parses the v2 record frame at the start of [data, data+n). False when n is too small.
+bool ParseRecordFrameV2(const char* data, size_t n, uint8_t* type, uint64_t* len,
+                        uint32_t* crc);
+
+// Version-aware record stream over one section file (definition in wire_format.cc).
+class RecordStream;
+
 }  // namespace wire
 
 // --- Trace files ---
@@ -75,25 +117,32 @@ class TraceWriter {
 
   // A nonzero shard_id stamps the file with a leading shard-info record, so a verifier
   // merging spill files from many collectors can identify and order the shards. Zero
-  // (the default) writes the classic single-collector layout, byte-identical to before.
-  Status Open(const std::string& path, uint32_t shard_id = 0);
+  // (the default) writes the classic single-collector layout. Writes go to a temp file;
+  // only a successful Finish renames it into place.
+  Status Open(const std::string& path, uint32_t shard_id = 0, Env* env = nullptr);
   Status Append(const TraceEvent& event);
-  // Writes the end record and closes; the file is valid only after Finish succeeds.
+  // Writes the end record, fsyncs, and renames into place; the file exists at `path`
+  // only after Finish succeeds.
   Status Finish();
 
  private:
-  std::FILE* file_ = nullptr;
+  AtomicFileWriter atomic_;
+  bool open_ = false;
+  std::string path_;
   std::string scratch_;
+  std::string error_;  // Sticky: a failed write poisons the rest of the file.
+  size_t bytes_ = 0;
+  uint64_t records_ = 0;
 };
 
 class TraceReader {
  public:
-  TraceReader() = default;
+  TraceReader();
   ~TraceReader();
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
 
-  Status Open(const std::string& path);
+  Status Open(const std::string& path, Env* env = nullptr);
   // True: *event holds the next trace event. False: clean end of section (and on any
   // further calls). Error: corrupt/truncated file (sticky across calls). A shard-info
   // record is consumed transparently (see shard_id()); it must be the first record of the
@@ -106,27 +155,31 @@ class TraceReader {
 
   // Location of the record the last successful Next() returned, for offset indexes built
   // by the out-of-core audit: the file offset of the record's payload (just past the
-  // 9-byte frame), the payload's byte length, and its wire record type.
+  // frame), the payload's byte length, its wire record type, and the payload's CRC32C
+  // (from the file for v2, computed for v1 — either way, the checksum of the bytes this
+  // reader just validated, so later point reads can prove the file did not change).
   uint64_t last_payload_offset() const { return last_payload_offset_; }
   uint64_t last_payload_bytes() const { return last_payload_bytes_; }
   uint8_t last_record_type() const { return last_record_type_; }
+  uint32_t last_payload_crc() const { return last_payload_crc_; }
 
  private:
-  std::FILE* file_ = nullptr;
+  std::unique_ptr<wire::RecordStream> stream_;
   std::string scratch_;
   bool done_ = false;
   std::string error_;  // Nonempty once a read has failed.
-  uint64_t pos_ = 0;   // File offset of the next record frame.
   uint64_t records_seen_ = 0;
   bool saw_shard_info_ = false;
   uint32_t shard_id_ = 0;
   uint64_t last_payload_offset_ = 0;
   uint64_t last_payload_bytes_ = 0;
   uint8_t last_record_type_ = 0;
+  uint32_t last_payload_crc_ = 0;
 };
 
-Status WriteTraceFile(const std::string& path, const Trace& trace, uint32_t shard_id = 0);
-Result<Trace> ReadTraceFile(const std::string& path);
+Status WriteTraceFile(const std::string& path, const Trace& trace, uint32_t shard_id = 0,
+                      Env* env = nullptr);
+Result<Trace> ReadTraceFile(const std::string& path, Env* env = nullptr);
 
 // Decodes one trace record payload (wire::kTraceRecRequest / kTraceRecResponse) exactly as
 // TraceReader::Next would. The out-of-core audit uses this to materialize a single event
@@ -140,12 +193,13 @@ Result<TraceEvent> DecodeTraceEventPayload(uint8_t record_type, const std::strin
 
 class ReportsWriter {
  public:
-  static Status WriteFile(const std::string& path, const Reports& reports);
+  static Status WriteFile(const std::string& path, const Reports& reports,
+                          Env* env = nullptr);
 };
 
 class ReportsReader {
  public:
-  static Result<Reports> ReadFile(const std::string& path);
+  static Result<Reports> ReadFile(const std::string& path, Env* env = nullptr);
 };
 
 // Streaming reports-section reader mirroring TraceReader: yields raw records together
@@ -153,29 +207,30 @@ class ReportsReader {
 // op-log offset indexes during one forward pass and point-read entry slices later.
 class ReportsRecordReader {
  public:
-  ReportsRecordReader() = default;
+  ReportsRecordReader();
   ~ReportsRecordReader();
   ReportsRecordReader(const ReportsRecordReader&) = delete;
   ReportsRecordReader& operator=(const ReportsRecordReader&) = delete;
 
-  Status Open(const std::string& path);
+  Status Open(const std::string& path, Env* env = nullptr);
   // True: *type/*payload hold the next record. False: clean end of section (and on any
   // further calls). Error: corrupt/truncated file (sticky across calls).
   Result<bool> Next(uint8_t* type, std::string* payload);
 
   // Location of the record the last successful Next() returned: the file offset of the
-  // record's payload (just past the 9-byte frame) and its byte length.
+  // record's payload (just past the frame), its byte length, and its CRC32C (see
+  // TraceReader::last_payload_crc).
   uint64_t last_payload_offset() const { return last_payload_offset_; }
   uint64_t last_payload_bytes() const { return last_payload_bytes_; }
+  uint32_t last_payload_crc() const { return last_payload_crc_; }
 
  private:
-  std::FILE* file_ = nullptr;
-  std::string path_;
+  std::unique_ptr<wire::RecordStream> stream_;
   bool done_ = false;
   std::string error_;  // Nonempty once a read has failed.
-  uint64_t pos_ = 0;   // File offset of the next record frame.
   uint64_t last_payload_offset_ = 0;
   uint64_t last_payload_bytes_ = 0;
+  uint32_t last_payload_crc_ = 0;
 };
 
 // Cross-record validation state for one reports read: op-counts must occur at most once,
@@ -210,11 +265,12 @@ std::vector<OpLogEntrySpan> IndexOpLogEntries(const std::string& payload);
 // at an offset recorded during the streaming pass.
 Status DecodeOpLogEntry(const char* data, size_t size, OpRecord* out);
 
-inline Status WriteReportsFile(const std::string& path, const Reports& reports) {
-  return ReportsWriter::WriteFile(path, reports);
+inline Status WriteReportsFile(const std::string& path, const Reports& reports,
+                               Env* env = nullptr) {
+  return ReportsWriter::WriteFile(path, reports, env);
 }
-inline Result<Reports> ReadReportsFile(const std::string& path) {
-  return ReportsReader::ReadFile(path);
+inline Result<Reports> ReadReportsFile(const std::string& path, Env* env = nullptr) {
+  return ReportsReader::ReadFile(path, env);
 }
 
 // --- Shard manifest files ---
@@ -237,15 +293,17 @@ struct ShardManifest {
   std::vector<ShardManifestEntry> shards;
 };
 
-Status WriteShardManifestFile(const std::string& path, const ShardManifest& manifest);
-Result<ShardManifest> ReadShardManifestFile(const std::string& path);
+Status WriteShardManifestFile(const std::string& path, const ShardManifest& manifest,
+                              Env* env = nullptr);
+Result<ShardManifest> ReadShardManifestFile(const std::string& path, Env* env = nullptr);
 
 // --- InitialState snapshot files ---
 // Registers, KV contents, and every database table (schema + rows), enough to reopen an
 // AuditSession in a fresh process with the state a previous epoch's audit accepted.
 
-Status WriteInitialStateFile(const std::string& path, const InitialState& state);
-Result<InitialState> ReadInitialStateFile(const std::string& path);
+Status WriteInitialStateFile(const std::string& path, const InitialState& state,
+                             Env* env = nullptr);
+Result<InitialState> ReadInitialStateFile(const std::string& path, Env* env = nullptr);
 
 // --- Exact wire sizes ---
 // The byte count of the file the corresponding writer would produce (header and end

@@ -21,8 +21,10 @@ class Collector {
   // shard_id stamps every spill file this collector flushes so the verifier can identify
   // and deterministically order the shards when merging one logical epoch
   // (AuditSession::FeedShardedEpoch). The default 0 is the classic single-collector
-  // deployment and leaves the spill files byte-identical to before.
-  explicit Collector(uint32_t shard_id = 0) : shard_id_(shard_id) {}
+  // deployment and leaves the spill files byte-identical to before. `env` routes spill
+  // writes (nullptr = the production posix environment; tests inject faults here).
+  explicit Collector(uint32_t shard_id = 0, Env* env = nullptr)
+      : shard_id_(shard_id), env_(env) {}
 
   uint32_t shard_id() const { return shard_id_; }
 
@@ -61,12 +63,14 @@ class Collector {
     return out;
   }
 
-  // Closes the current epoch: spills the recorded trace to a wire-format file and, on
-  // success, resets the in-memory trace for the next epoch. On failure the trace is kept
-  // so no recorded traffic is lost. Call after draining the server.
+  // Closes the current epoch: spills the recorded trace to a wire-format file (written
+  // to a temp file, fsynced, then renamed into place — a reader never observes a partial
+  // spill) and, on success, resets the in-memory trace for the next epoch. On any
+  // write/fsync/rename failure the error propagates and the trace is kept so no recorded
+  // traffic is lost. Call after draining the server.
   Status Flush(const std::string& path) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (Status st = WriteTraceFile(path, trace_, shard_id_); !st.ok()) {
+    if (Status st = WriteTraceFile(path, trace_, shard_id_, env_); !st.ok()) {
       return st;
     }
     trace_ = Trace{};
@@ -75,6 +79,7 @@ class Collector {
 
  private:
   const uint32_t shard_id_ = 0;
+  Env* const env_ = nullptr;
   mutable std::mutex mu_;
   Trace trace_;
 };

@@ -70,7 +70,7 @@ Reports ServerCore::TakeReports() {
 
 Status ServerCore::ExportReports(const std::string& path) {
   std::lock_guard<std::mutex> lock(report_mu_);
-  if (Status st = ReportsWriter::WriteFile(path, reports_); !st.ok()) {
+  if (Status st = ReportsWriter::WriteFile(path, reports_, options_.io_env); !st.ok()) {
     return st;
   }
   ResetReportsLocked();

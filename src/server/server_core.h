@@ -17,6 +17,7 @@
 #include "src/lang/interpreter.h"
 #include "src/objects/object_model.h"
 #include "src/objects/reports.h"
+#include "src/common/io_env.h"
 #include "src/objects/stores.h"
 #include "src/server/application.h"
 #include "src/sql/database.h"
@@ -27,6 +28,9 @@ struct ServerOptions {
   // When false the server behaves like the legacy (pre-OROCHI) deployment: no digests, no
   // operation logs, no nondet records. Used as the baseline in Figure 8.
   bool record_reports = true;
+  // I/O environment ExportReports spills through. nullptr = the production posix
+  // environment. Not owned.
+  Env* io_env = nullptr;
 };
 
 // Produces values for non-deterministic builtins and is shared between recording and

@@ -1,0 +1,75 @@
+// Resumable streamed audits: a sidecar wire file (Section::kCheckpoint) journaling every
+// pass-2 chunk task that retired successfully, so a verifier killed mid-audit resumes by
+// replaying those contributions instead of re-executing them. Because the engine is
+// deterministic and only successful tasks are journaled, a resumed run's verdict,
+// rejection reason, and final state are bit-identical to an uninterrupted run at every
+// thread count and memory budget.
+//
+// File layout: the standard 13-byte envelope, then one meta record carrying the plan
+// fingerprint, then one record per completed task, appended (and fsynced) as tasks
+// retire. There is deliberately no end record — the file is an append journal whose tail
+// may be torn by a crash; loading tolerates that by keeping every record before the first
+// malformed/CRC-failed byte and discarding the rest. A fingerprint mismatch (different
+// epoch, different plan, different audit-relevant options) discards the whole file, so a
+// stale checkpoint can never smuggle another epoch's outputs into this one.
+#ifndef SRC_STREAM_CHECKPOINT_H_
+#define SRC_STREAM_CHECKPOINT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/io_env.h"
+#include "src/core/audit_plan.h"
+
+namespace orochi {
+
+// Identity of one (epoch, plan, audit-options) combination: initial-state fingerprint,
+// every task's walk order and rid list, the plan's validation failure, and the options
+// that change what re-execution computes (max_group_size, enable_query_dedup).
+// Deliberately NOT hashed: thread count, memory budget, io_env, checkpoint_path — those
+// change scheduling, never the verdict, and a checkpoint must survive a resume under a
+// different thread count or budget.
+uint64_t CheckpointFingerprint(const InitialState& initial, const AuditPlan& plan,
+                               const AuditOptions& options);
+
+class CheckpointJournal : public AuditTaskJournal {
+ public:
+  // Opens (or creates) the journal at `path`. An existing file with a matching
+  // fingerprint contributes its intact records for replay; a missing, torn-at-the-head,
+  // corrupt, or fingerprint-mismatched file contributes nothing. Either way the file is
+  // rewritten fresh (envelope + meta + surviving records) and held open for appends —
+  // only a failure to write that fresh journal is an error, because it means the
+  // checkpoint path itself is unusable.
+  static Result<std::unique_ptr<CheckpointJournal>> Open(Env* env, const std::string& path,
+                                                         uint64_t fingerprint);
+  ~CheckpointJournal() override = default;
+
+  const AuditTaskRecord* Lookup(size_t order) override;
+  // Appends + fsyncs one record. Best-effort: a write failure poisons further appends
+  // (the journal stops growing) but never the audit.
+  void Record(const AuditTask& task, const AuditTaskRecord& record) override;
+
+  // Closes the append handle and deletes the journal file. Called once a verdict
+  // (accept or reject) is reached; an I/O-failed audit keeps the file for resume.
+  Status RemoveFile();
+
+  // Records loaded from a prior run, i.e. the number of tasks a resume can skip.
+  size_t resumable_tasks() const { return loaded_; }
+
+ private:
+  CheckpointJournal(Env* env, std::string path) : env_(env), path_(std::move(path)) {}
+
+  Env* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> out_;
+  std::mutex mu_;  // Guards out_ and write_failed_; records_ is frozen after Open.
+  std::unordered_map<size_t, AuditTaskRecord> records_;
+  size_t loaded_ = 0;
+  bool write_failed_ = false;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_STREAM_CHECKPOINT_H_

@@ -1,13 +1,10 @@
 #include "src/stream/chunk_loader.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstdlib>
 #include <string>
 #include <utility>
 
+#include "src/common/crc32c.h"
 #include "src/common/strings.h"
 #include "src/objects/wire_format.h"
 #include "src/stream/reports_index.h"
@@ -60,51 +57,43 @@ uint64_t ChunkBudget::largest_acquire_bytes() const {
   return largest_acquire_;
 }
 
-FileTraceChunkLoader::FileTraceChunkLoader(const StreamTraceSet* set)
-    : fds_(set->num_files(), -1) {}
+FileTraceChunkLoader::FileTraceChunkLoader(const StreamTraceSet* set, Env* env)
+    : env_(ResolveEnv(env)), files_(set->num_files()) {}
 
-FileTraceChunkLoader::~FileTraceChunkLoader() {
-  for (int fd : fds_) {
-    if (fd >= 0) {
-      ::close(fd);
-    }
-  }
-}
+FileTraceChunkLoader::~FileTraceChunkLoader() = default;
 
 Status FileTraceChunkLoader::Load(const StreamTraceSet& set, size_t index,
                                   TraceEvent* event) {
   const TraceEventLoc& loc = set.loc(index);
-  int fd;
+  std::shared_ptr<ReadableFile> file;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (loc.file >= fds_.size()) {
+    if (loc.file >= files_.size()) {
       // The set driving the audit can be larger than the one this loader was sized from
       // (a hooks loader built over a probe set while FeedShardedEpoch merges N files).
-      fds_.resize(set.num_files(), -1);
+      files_.resize(set.num_files());
     }
-    fd = fds_[loc.file];
-    if (fd < 0) {
-      fd = ::open(set.file_path(loc.file).c_str(), O_RDONLY);
-      if (fd < 0) {
+    if (files_[loc.file] == nullptr) {
+      Result<std::unique_ptr<ReadableFile>> opened =
+          env_->OpenRead(set.file_path(loc.file));
+      if (!opened.ok()) {
         return Status::Error("stream: cannot reopen " + set.file_path(loc.file) +
-                             " for chunk load");
+                             " for chunk load: " + opened.error());
       }
-      fds_[loc.file] = fd;
+      files_[loc.file] = std::move(opened).value();
     }
+    file = files_[loc.file];
   }
   std::string payload(static_cast<size_t>(loc.bytes), '\0');
-  size_t done = 0;
-  while (done < payload.size()) {
-    ssize_t n = ::pread(fd, &payload[done], payload.size() - done,
-                        static_cast<off_t>(loc.offset + done));
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    if (n <= 0) {
-      return Status::Error("stream: short read at offset " + std::to_string(loc.offset) +
-                           " in " + set.file_path(loc.file));
-    }
-    done += static_cast<size_t>(n);
+  if (Status st = ReadFullAt(file.get(), set.file_path(loc.file), loc.offset,
+                             payload.size(), payload.empty() ? nullptr : &payload[0]);
+      !st.ok()) {
+    return st;
+  }
+  if (Crc32c(payload) != loc.crc) {
+    return Status::Error("stream: " + set.file_path(loc.file) +
+                         " changed during the audit: payload at offset " +
+                         std::to_string(loc.offset) + " failed checksum");
   }
   Result<TraceEvent> decoded = DecodeTraceEventPayload(loc.record_type, payload);
   if (!decoded.ok()) {
@@ -136,16 +125,10 @@ void FileTraceChunkLoader::Evict(const StreamTraceSet& set, size_t index,
   }
 }
 
-FileReportsChunkLoader::FileReportsChunkLoader(const StreamReportsSet* set)
-    : fds_(set->num_files(), -1) {}
+FileReportsChunkLoader::FileReportsChunkLoader(const StreamReportsSet* set, Env* env)
+    : env_(ResolveEnv(env)), files_(set->num_files()) {}
 
-FileReportsChunkLoader::~FileReportsChunkLoader() {
-  for (int fd : fds_) {
-    if (fd >= 0) {
-      ::close(fd);
-    }
-  }
-}
+FileReportsChunkLoader::~FileReportsChunkLoader() = default;
 
 Status FileReportsChunkLoader::Load(StreamReportsSet* set, size_t object,
                                     uint64_t first_seqnum, uint64_t count) {
@@ -180,47 +163,46 @@ Status FileReportsChunkLoader::LoadRun(StreamReportsSet* set, size_t object,
   for (uint64_t i = 0; i < count; i++) {
     total += set->loc(object, first_seqnum + i).bytes;
   }
-  int fd;
+  std::shared_ptr<ReadableFile> file;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (head.file >= fds_.size()) {
+    if (head.file >= files_.size()) {
       // The set driving the audit can be larger than the one this loader was sized from
       // (a hooks loader built over a probe set while FeedShardedEpoch merges N files).
-      fds_.resize(set->num_files(), -1);
+      files_.resize(set->num_files());
     }
-    fd = fds_[head.file];
-    if (fd < 0) {
-      fd = ::open(set->file_path(head.file).c_str(), O_RDONLY);
-      if (fd < 0) {
+    if (files_[head.file] == nullptr) {
+      Result<std::unique_ptr<ReadableFile>> opened =
+          env_->OpenRead(set->file_path(head.file));
+      if (!opened.ok()) {
         return Status::Error("stream: cannot reopen " + set->file_path(head.file) +
-                             " for op-log load");
+                             " for op-log load: " + opened.error());
       }
-      fds_[head.file] = fd;
+      files_[head.file] = std::move(opened).value();
     }
+    file = files_[head.file];
   }
   std::string frames(static_cast<size_t>(total), '\0');
-  size_t done = 0;
-  while (done < frames.size()) {
-    ssize_t n = ::pread(fd, &frames[done], frames.size() - done,
-                        static_cast<off_t>(head.offset + done));
-    if (n < 0 && errno == EINTR) {
-      continue;
-    }
-    if (n <= 0) {
-      return Status::Error("stream: short read at offset " + std::to_string(head.offset) +
-                           " in " + set->file_path(head.file));
-    }
-    done += static_cast<size_t>(n);
+  if (Status st = ReadFullAt(file.get(), set->file_path(head.file), head.offset,
+                             frames.size(), frames.empty() ? nullptr : &frames[0]);
+      !st.ok()) {
+    return st;
   }
-  // Decode each frame and verify it still matches the skeleton entry it claims to be —
-  // a reports file mutated mid-audit surfaces as an I/O error, never as misattribution.
+  // Verify each frame against its pass-1 CRC, then decode and check it still matches the
+  // skeleton entry it claims to be — a reports file mutated mid-audit surfaces as an I/O
+  // error, never as misattribution.
   std::vector<OpRecord>& log = set->mutable_skeleton()->op_logs[object];
   size_t pos = 0;
   for (uint64_t i = 0; i < count; i++) {
     const OpLogEntryLoc& loc = set->loc(object, first_seqnum + i);
     OpRecord decoded;
-    Status st = DecodeOpLogEntry(frames.data() + pos, static_cast<size_t>(loc.bytes),
-                                 &decoded);
+    Status st = Status::Ok();
+    if (Crc32c(frames.data() + pos, static_cast<size_t>(loc.bytes)) != loc.crc) {
+      st = Status::Error("checksum");
+    } else {
+      st = DecodeOpLogEntry(frames.data() + pos, static_cast<size_t>(loc.bytes),
+                            &decoded);
+    }
     pos += static_cast<size_t>(loc.bytes);
     OpRecord& entry = log[static_cast<size_t>(first_seqnum - 1 + i)];
     if (!st.ok() || decoded.rid != entry.rid || decoded.opnum != entry.opnum ||

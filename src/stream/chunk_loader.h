@@ -12,9 +12,11 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
+#include "src/common/io_env.h"
 #include "src/common/result.h"
 #include "src/core/audit_context.h"
 #include "src/stream/trace_index.h"
@@ -78,16 +80,17 @@ class TraceChunkLoader {
   virtual void OnChunkEvicted(uint64_t bytes) { (void)bytes; }
 };
 
-// The real loader: positional reads (pread) against lazily opened descriptors for the
-// spill files, so concurrent workers never share a file position. Verifies that the bytes
-// re-read at an indexed offset still decode to the indexed rid — a spill file mutated
-// mid-audit surfaces as an I/O error, never as silent misattribution.
+// The real loader: positional reads against lazily opened files, so concurrent workers
+// never share a file position. All reads go through the Env (transient faults retry with
+// bounded backoff), and every re-read is checked against the CRC32C pass 1 recorded
+// before it is decoded — a spill file mutated mid-audit surfaces as an I/O error, never
+// as silent misattribution.
 class FileTraceChunkLoader : public TraceChunkLoader {
  public:
-  // `set` only pre-sizes the descriptor table; Load follows the set it is handed (the
-  // audit's own merged set when this loader rides in via StreamAuditHooks), growing the
-  // table as needed.
-  explicit FileTraceChunkLoader(const StreamTraceSet* set);
+  // `set` only pre-sizes the file table; Load follows the set it is handed (the audit's
+  // own merged set when this loader rides in via StreamAuditHooks), growing the table as
+  // needed. `env` nullptr = the production posix environment.
+  explicit FileTraceChunkLoader(const StreamTraceSet* set, Env* env = nullptr);
   ~FileTraceChunkLoader() override;
   FileTraceChunkLoader(const FileTraceChunkLoader&) = delete;
   FileTraceChunkLoader& operator=(const FileTraceChunkLoader&) = delete;
@@ -96,8 +99,9 @@ class FileTraceChunkLoader : public TraceChunkLoader {
   void Evict(const StreamTraceSet& set, size_t index, TraceEvent* event) override;
 
  private:
-  std::mutex mu_;         // Guards fds_ (lazy opens); reads themselves are lock-free.
-  std::vector<int> fds_;  // -1 = not yet opened.
+  Env* const env_;
+  std::mutex mu_;  // Guards files_ (lazy opens); reads themselves are lock-free.
+  std::vector<std::shared_ptr<ReadableFile>> files_;  // null = not yet opened.
 };
 
 // Pages runs of op-log entry *contents* in and out of a reports skeleton
@@ -128,13 +132,14 @@ class ReportsChunkLoader {
   virtual void OnChunkEvicted(uint64_t bytes) { (void)bytes; }
 };
 
-// The real loader: positional reads against lazily opened descriptors, one pread per
-// maximal file-contiguous run (entries merged from different shard files fall back to one
-// read per contiguous piece).
+// The real loader: positional reads against lazily opened files, one read per maximal
+// file-contiguous run (entries merged from different shard files fall back to one read
+// per contiguous piece), each run's entries verified against their pass-1 CRCs.
 class FileReportsChunkLoader : public ReportsChunkLoader {
  public:
-  // `set` only pre-sizes the descriptor table; Load follows the set it is handed.
-  explicit FileReportsChunkLoader(const StreamReportsSet* set);
+  // `set` only pre-sizes the file table; Load follows the set it is handed. `env`
+  // nullptr = the production posix environment.
+  explicit FileReportsChunkLoader(const StreamReportsSet* set, Env* env = nullptr);
   ~FileReportsChunkLoader() override;
   FileReportsChunkLoader(const FileReportsChunkLoader&) = delete;
   FileReportsChunkLoader& operator=(const FileReportsChunkLoader&) = delete;
@@ -148,8 +153,9 @@ class FileReportsChunkLoader : public ReportsChunkLoader {
   Status LoadRun(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
                  uint64_t count);
 
-  std::mutex mu_;         // Guards fds_ (lazy opens); reads themselves are lock-free.
-  std::vector<int> fds_;  // -1 = not yet opened.
+  Env* const env_;
+  std::mutex mu_;  // Guards files_ (lazy opens); reads themselves are lock-free.
+  std::vector<std::shared_ptr<ReadableFile>> files_;  // null = not yet opened.
 };
 
 }  // namespace orochi

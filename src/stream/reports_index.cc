@@ -2,13 +2,14 @@
 
 #include <utility>
 
+#include "src/common/crc32c.h"
 #include "src/objects/wire_format.h"
 
 namespace orochi {
 
-Status StreamReportsSet::AppendFile(const std::string& path) {
+Status StreamReportsSet::AppendFile(const std::string& path, Env* env) {
   ReportsRecordReader reader;
-  if (Status st = reader.Open(path); !st.ok()) {
+  if (Status st = reader.Open(path, env); !st.ok()) {
     return st;
   }
   const uint32_t file = static_cast<uint32_t>(files_.size());
@@ -52,7 +53,8 @@ Status StreamReportsSet::AppendFile(const std::string& path) {
     std::vector<OpLogEntryLoc>& locs = file_locs[object];
     locs.reserve(spans.size());
     for (const OpLogEntrySpan& span : spans) {
-      locs.push_back({file, reader.last_payload_offset() + span.offset, span.bytes});
+      locs.push_back({file, reader.last_payload_offset() + span.offset, span.bytes,
+                      Crc32c(payload.data() + span.offset, span.bytes)});
     }
     // Shed this log's contents now that their locations are indexed, so at most one
     // op-log record's contents are transiently resident during the pass.
@@ -78,6 +80,28 @@ Status StreamReportsSet::AppendFile(const std::string& path) {
     }
   }
   files_.push_back(path);
+  return Status::Ok();
+}
+
+Status StreamReportsSet::Absorb(StreamReportsSet&& other, const std::string& label) {
+  ReportsMergeMap map;
+  if (Status st = AppendReports(&skeleton_, other.skeleton_, &map); !st.ok()) {
+    return Status::Error(label + ": " + st.error());
+  }
+  const uint32_t file_base = static_cast<uint32_t>(files_.size());
+  for (std::string& path : other.files_) {
+    files_.push_back(std::move(path));
+  }
+  locs_.resize(skeleton_.op_logs.size());
+  for (size_t i = 0; i < other.locs_.size(); i++) {
+    std::vector<OpLogEntryLoc>& dst = locs_[map.object_remap[i]];
+    for (OpLogEntryLoc loc : other.locs_[i]) {
+      loc.file += file_base;
+      dst.push_back(loc);
+    }
+  }
+  total_log_payload_bytes_ += other.total_log_payload_bytes_;
+  other = StreamReportsSet();
   return Status::Ok();
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/io_env.h"
 #include "src/common/result.h"
 #include "src/core/audit_context.h"
 #include "src/objects/reports.h"
@@ -37,6 +38,9 @@ struct OpLogEntryLoc {
   uint32_t file = 0;    // Index into StreamReportsSet::file_path().
   uint64_t offset = 0;  // File offset of the entry frame.
   uint64_t bytes = 0;   // Frame length.
+  // CRC32C of the entry frame as validated during pass 1, so point loads prove the
+  // bytes they re-read are the bytes the streaming pass accepted.
+  uint32_t crc = 0;
 };
 
 class StreamReportsSet {
@@ -45,8 +49,15 @@ class StreamReportsSet {
   // reader uses, then shedding op-log contents) and merges it onto the skeleton via
   // AppendReports semantics. At most one op-log record's contents are transiently
   // resident during the pass. Merge-level errors (rid overlap with an earlier file) are
-  // prefixed with `path`; decode errors already name the file.
-  Status AppendFile(const std::string& path);
+  // prefixed with `path`; decode errors already name the file. Reads go through `env`
+  // (nullptr = the production posix environment).
+  Status AppendFile(const std::string& path, Env* env = nullptr);
+
+  // Folds `other` onto this set with AppendReports merge semantics (object-id remap,
+  // group-tag merge, rid-disjointness), remapping its entry locations alongside — the
+  // sequential fold step of a parallel per-shard pass 1. `label` prefixes merge-level
+  // errors exactly as AppendFile's path does.
+  Status Absorb(StreamReportsSet&& other, const std::string& label);
 
   const Reports& skeleton() const { return skeleton_; }
   // The loader installs contents into (and evicts them from) skeleton log entries in

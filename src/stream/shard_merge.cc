@@ -4,6 +4,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "src/common/work_steal_pool.h"
 #include "src/objects/wire_format.h"
 
 namespace orochi {
@@ -12,9 +13,9 @@ namespace {
 
 // The stamped shard id of a trace spill file: streams at most one record (the shard-info
 // header, when present, precedes every event). An empty or shard-info-only file is fine.
-Result<uint32_t> PeekTraceShardId(const std::string& path) {
+Result<uint32_t> PeekTraceShardId(const std::string& path, Env* env) {
   TraceReader reader;
-  if (Status st = reader.Open(path); !st.ok()) {
+  if (Status st = reader.Open(path, env); !st.ok()) {
     return Result<uint32_t>::Error(st.error());
   }
   TraceEvent event;
@@ -40,7 +41,8 @@ std::string Resolve(const std::string& dir, const std::string& file) {
 }  // namespace
 
 Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
-                                 const std::vector<uint32_t>& expected_ids) {
+                                 const std::vector<uint32_t>& expected_ids, Env* env,
+                                 size_t num_threads) {
   using R = Result<MergedShards>;
   if (shards.empty()) {
     return R::Error("shard merge: no shards given");
@@ -58,7 +60,7 @@ Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
   };
   std::vector<Entry> order(shards.size());
   for (size_t i = 0; i < shards.size(); i++) {
-    Result<uint32_t> stamped = PeekTraceShardId(shards[i].trace_path);
+    Result<uint32_t> stamped = PeekTraceShardId(shards[i].trace_path, env);
     if (!stamped.ok()) {
       return R::Error("shard merge: " + stamped.error());
     }
@@ -82,20 +84,53 @@ Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
     }
   }
 
+  // Pass 1 per shard, in parallel: each worker streams one shard's pair into its own
+  // skeleton set. Nothing is shared across workers, so the only synchronization is the
+  // pool's own join; determinism comes from the sequential fold below, which absorbs in
+  // sorted merge order regardless of which worker finished first.
+  struct ShardLoad {
+    StreamTraceSet traces;
+    StreamReportsSet reports;
+    std::string error;  // Nonempty = this shard failed to stream.
+  };
+  std::vector<ShardLoad> loads(order.size());
+  {
+    std::vector<size_t> tasks(order.size());
+    for (size_t i = 0; i < tasks.size(); i++) {
+      tasks[i] = i;
+    }
+    WorkStealPool pool(num_threads < 1 ? 1 : num_threads);
+    pool.Run(tasks, [&](size_t i) {
+      const ShardEpochFiles& shard = shards[order[i].pos];
+      ShardLoad& load = loads[i];
+      Result<uint32_t> appended = load.traces.AppendFile(shard.trace_path, env);
+      if (!appended.ok()) {
+        load.error = appended.error();
+        return;
+      }
+      if (Status st = load.reports.AppendFile(shard.reports_path, env); !st.ok()) {
+        load.error = st.error();
+      }
+    });
+  }
+
   MergedShards out;
   std::unordered_set<RequestId> prior_rids;
-  for (const Entry& e : order) {
+  for (size_t i = 0; i < order.size(); i++) {
+    const Entry& e = order[i];
     const ShardEpochFiles& shard = shards[e.pos];
-    const size_t events_before = out.traces.num_events();
-    Result<uint32_t> appended = out.traces.AppendFile(shard.trace_path);
-    if (!appended.ok()) {
-      return R::Error("shard merge: " + appended.error());
+    ShardLoad& load = loads[i];
+    if (!load.error.empty()) {
+      // Quarantine: name the shard and both of its files, so the operator knows exactly
+      // which collector's spill to restore — the other shards streamed clean.
+      return R::Error("shard merge: quarantined shard " + std::to_string(e.id) +
+                      " (trace " + shard.trace_path + ", reports " + shard.reports_path +
+                      "): " + load.error);
     }
     // Rid-disjointness across shard traces. (Duplicates *within* one shard stay for the
     // audit's balanced-trace check to reject, exactly as the unsharded path would.)
     std::unordered_set<RequestId> shard_rids;
-    for (size_t i = events_before; i < out.traces.num_events(); i++) {
-      const TraceEvent& event = out.traces.skeleton().events[i];
+    for (const TraceEvent& event : load.traces.skeleton().events) {
       if (event.kind != TraceEvent::Kind::kRequest) {
         continue;
       }
@@ -106,10 +141,12 @@ Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
       shard_rids.insert(event.rid);
     }
     prior_rids.insert(shard_rids.begin(), shard_rids.end());
+    out.traces.Absorb(std::move(load.traces));
 
-    // Streamed: decode errors name the file; merge errors (rid overlap with an earlier
-    // shard's reports) come back "path: reason" from the index itself.
-    if (Status st = out.reports.AppendFile(shard.reports_path); !st.ok()) {
+    // Merge errors (rid overlap with an earlier shard's reports) come back
+    // "path: reason" from the index itself, same as the sequential stream would report.
+    if (Status st = out.reports.Absorb(std::move(load.reports), shard.reports_path);
+        !st.ok()) {
       return R::Error("shard merge: " + st.error());
     }
     out.shard_ids.push_back(e.id);
@@ -117,8 +154,9 @@ Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
   return out;
 }
 
-Result<MergedShards> MergeShardsFromManifest(const std::string& manifest_path) {
-  Result<ShardManifest> manifest = ReadShardManifestFile(manifest_path);
+Result<MergedShards> MergeShardsFromManifest(const std::string& manifest_path, Env* env,
+                                             size_t num_threads) {
+  Result<ShardManifest> manifest = ReadShardManifestFile(manifest_path, env);
   if (!manifest.ok()) {
     return Result<MergedShards>::Error(manifest.error());
   }
@@ -130,7 +168,7 @@ Result<MergedShards> MergeShardsFromManifest(const std::string& manifest_path) {
     shards.push_back({Resolve(dir, entry.trace_file), Resolve(dir, entry.reports_file)});
     ids.push_back(entry.shard_id);
   }
-  return MergeShards(shards, ids);
+  return MergeShards(shards, ids, env, num_threads);
 }
 
 }  // namespace orochi

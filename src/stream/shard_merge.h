@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/io_env.h"
 #include "src/common/result.h"
 #include "src/core/audit_session.h"
 #include "src/objects/reports.h"
@@ -36,12 +37,21 @@ struct MergedShards {
 // `expected_ids`, when nonempty (the manifest path), must parallel `shards`; each entry is
 // checked against the trace file's stamped id — a collector that stamped shard 3 cannot be
 // passed off as the manifest's shard 2.
+//
+// Per-shard pass-1 skeleton builds run in parallel on a work-stealing pool of
+// `num_threads` workers (0 or 1 = sequential), then fold sequentially in merge order, so
+// the merged epoch is bit-identical at every thread count. A shard whose files fail to
+// stream is quarantined: the merge errors out naming the shard id and both file paths,
+// so the operator knows exactly which collector's spill to restore. Reads go through
+// `env` (nullptr = the production posix environment).
 Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
-                                 const std::vector<uint32_t>& expected_ids = {});
+                                 const std::vector<uint32_t>& expected_ids = {},
+                                 Env* env = nullptr, size_t num_threads = 0);
 
 // Reads a wire-format shard manifest and merges the pairs it names, resolving relative
 // spill paths against the manifest file's directory.
-Result<MergedShards> MergeShardsFromManifest(const std::string& manifest_path);
+Result<MergedShards> MergeShardsFromManifest(const std::string& manifest_path,
+                                             Env* env = nullptr, size_t num_threads = 0);
 
 }  // namespace orochi
 

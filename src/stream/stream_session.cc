@@ -28,6 +28,7 @@
 #include "src/core/audit_plan.h"
 #include "src/core/audit_session.h"
 #include "src/objects/wire_format.h"
+#include "src/stream/checkpoint.h"
 #include "src/stream/stream_audit.h"
 
 namespace orochi {
@@ -256,8 +257,8 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
     return R(out);
   };
 
-  FileTraceChunkLoader default_loader(&merged.traces);
-  FileReportsChunkLoader default_reports_loader(&merged.reports);
+  FileTraceChunkLoader default_loader(&merged.traces, options_.io_env);
+  FileReportsChunkLoader default_reports_loader(&merged.reports, options_.io_env);
   ChunkBudget default_budget(budget_bytes);
   TraceChunkLoader* loader =
       hooks != nullptr && hooks->loader != nullptr ? hooks->loader : &default_loader;
@@ -283,16 +284,42 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
 
   AuditPlan plan = PlanAuditTasks(&ctx, merged.reports.skeleton(), app_, options_);
 
+  // Resumable pass 2: journal completed chunk tasks to the sidecar checkpoint. The
+  // fingerprint binds the journal to this exact (initial state, plan, audit options)
+  // combination, so a stale or foreign checkpoint contributes nothing. An unusable
+  // checkpoint path is a file-level error — the epoch is unconsumed and retryable.
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!options_.checkpoint_path.empty()) {
+    Result<std::unique_ptr<CheckpointJournal>> opened = CheckpointJournal::Open(
+        options_.io_env, options_.checkpoint_path,
+        CheckpointFingerprint(state_, plan, options_));
+    if (!opened.ok()) {
+      epochs_fed_--;
+      return R::Error(opened.error());
+    }
+    journal = std::move(opened).value();
+  }
+  // Once a verdict (accept or reject) is reached the checkpoint is spent: the next audit
+  // of this path starts from a different state, and leaving the file would only cost a
+  // fingerprint-mismatch discard. Removal failures are therefore ignorable.
+  auto spend_checkpoint = [&] {
+    if (journal != nullptr) {
+      journal->RemoveFile();
+    }
+  };
+
   StreamTaskGate gate(&merged.traces, loader, &merged.reports, reports_loader, budget,
                       &ctx);
-  AuditExecOutcome exec = ExecuteAuditPlan(&ctx, app_, options_, plan, &gate);
+  AuditExecOutcome exec = ExecuteAuditPlan(&ctx, app_, options_, plan, &gate, journal.get());
   if (exec.gate_failed) {
     // Paging a chunk in failed (spill file vanished or changed mid-audit): a file-level
-    // error, not a verdict — the epoch is unconsumed, exactly like a corrupt FeedEpochFiles.
+    // error, not a verdict — the epoch is unconsumed, exactly like a corrupt
+    // FeedEpochFiles. The checkpoint survives for the retry.
     epochs_fed_--;
     return R::Error(exec.fail_reason);
   }
   if (exec.fail_order != kNoAuditFailure) {
+    spend_checkpoint();
     return reject(exec.fail_reason);
   }
 
@@ -307,8 +334,10 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
     }
   }
   if (!compare_reason.empty()) {
+    spend_checkpoint();
     return reject(std::move(compare_reason));
   }
+  spend_checkpoint();
   CommitAccepted(&ctx, &out);
   return out;
 }
@@ -320,11 +349,11 @@ Result<AuditResult> AuditSession::FeedEpochFilesStreamed(const std::string& trac
   // Built directly (not via MergeShards) so single-file error messages stay identical to
   // FeedEpochFiles' — the degenerate one-shard case is a drop-in replacement.
   MergedShards merged;
-  Result<uint32_t> shard = merged.traces.AppendFile(trace_path);
+  Result<uint32_t> shard = merged.traces.AppendFile(trace_path, options_.io_env);
   if (!shard.ok()) {
     return R::Error(shard.error());
   }
-  if (Status st = merged.reports.AppendFile(reports_path); !st.ok()) {
+  if (Status st = merged.reports.AppendFile(reports_path, options_.io_env); !st.ok()) {
     return R::Error(st.error());
   }
   merged.shard_ids.push_back(shard.value());
@@ -333,7 +362,13 @@ Result<AuditResult> AuditSession::FeedEpochFilesStreamed(const std::string& trac
 
 Result<AuditResult> AuditSession::FeedShardedEpoch(const std::vector<ShardEpochFiles>& shards,
                                                    const StreamAuditHooks* hooks) {
-  Result<MergedShards> merged = MergeShards(shards);
+  // Per-shard pass-1 builds overlap on the audit's own worker count; a config error here
+  // surfaces before any shard is read.
+  Result<size_t> threads = ResolveAuditThreads(options_);
+  if (!threads.ok()) {
+    return Result<AuditResult>::Error(threads.error());
+  }
+  Result<MergedShards> merged = MergeShards(shards, {}, options_.io_env, threads.value());
   if (!merged.ok()) {
     return Result<AuditResult>::Error(merged.error());
   }
@@ -342,7 +377,12 @@ Result<AuditResult> AuditSession::FeedShardedEpoch(const std::vector<ShardEpochF
 
 Result<AuditResult> AuditSession::FeedShardedEpoch(const std::string& manifest_path,
                                                    const StreamAuditHooks* hooks) {
-  Result<MergedShards> merged = MergeShardsFromManifest(manifest_path);
+  Result<size_t> threads = ResolveAuditThreads(options_);
+  if (!threads.ok()) {
+    return Result<AuditResult>::Error(threads.error());
+  }
+  Result<MergedShards> merged =
+      MergeShardsFromManifest(manifest_path, options_.io_env, threads.value());
   if (!merged.ok()) {
     return Result<AuditResult>::Error(merged.error());
   }

@@ -6,9 +6,9 @@
 
 namespace orochi {
 
-Result<uint32_t> StreamTraceSet::AppendFile(const std::string& path) {
+Result<uint32_t> StreamTraceSet::AppendFile(const std::string& path, Env* env) {
   TraceReader reader;
-  if (Status st = reader.Open(path); !st.ok()) {
+  if (Status st = reader.Open(path, env); !st.ok()) {
     return Result<uint32_t>::Error(st.error());
   }
   const uint32_t file = static_cast<uint32_t>(files_.size());
@@ -27,6 +27,7 @@ Result<uint32_t> StreamTraceSet::AppendFile(const std::string& path) {
     loc.record_type = reader.last_record_type();
     loc.offset = reader.last_payload_offset();
     loc.bytes = reader.last_payload_bytes();
+    loc.crc = reader.last_payload_crc();
     if (event.kind == TraceEvent::Kind::kRequest) {
       request_index_.emplace(event.rid, locs_.size());
       total_request_payload_bytes_ += loc.bytes;
@@ -40,6 +41,29 @@ Result<uint32_t> StreamTraceSet::AppendFile(const std::string& path) {
     skeleton_.events.push_back(std::move(event));
   }
   return reader.shard_id();
+}
+
+void StreamTraceSet::Absorb(StreamTraceSet&& other) {
+  const uint32_t file_base = static_cast<uint32_t>(files_.size());
+  const size_t event_base = locs_.size();
+  for (std::string& path : other.files_) {
+    files_.push_back(std::move(path));
+  }
+  locs_.reserve(locs_.size() + other.locs_.size());
+  for (TraceEventLoc loc : other.locs_) {
+    loc.file += file_base;
+    locs_.push_back(loc);
+  }
+  skeleton_.events.reserve(skeleton_.events.size() + other.skeleton_.events.size());
+  for (TraceEvent& event : other.skeleton_.events) {
+    skeleton_.events.push_back(std::move(event));
+  }
+  for (const auto& [rid, index] : other.request_index_) {
+    // First occurrence wins across the whole merged set, same as sequential AppendFile.
+    request_index_.emplace(rid, event_base + index);
+  }
+  total_request_payload_bytes_ += other.total_request_payload_bytes_;
+  other = StreamTraceSet();
 }
 
 size_t StreamTraceSet::RequestIndex(RequestId rid) const {

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/io_env.h"
 #include "src/common/result.h"
 #include "src/objects/trace.h"
 
@@ -25,8 +26,11 @@ namespace orochi {
 struct TraceEventLoc {
   uint32_t file = 0;       // Index into StreamTraceSet::file_path().
   uint8_t record_type = 0; // wire::kTraceRecRequest / kTraceRecResponse.
-  uint64_t offset = 0;     // File offset of the record payload (past the 9-byte frame).
+  uint64_t offset = 0;     // File offset of the record payload (past the record frame).
   uint64_t bytes = 0;      // Payload length — the cost a load charges to the budget.
+  // CRC32C of the payload as validated during pass 1 (read from a v2 file's frame,
+  // computed for v1), so pass-2/3 point reads prove the file has not changed since.
+  uint32_t crc = 0;
 };
 
 class StreamTraceSet {
@@ -34,8 +38,14 @@ class StreamTraceSet {
   // Streams `path` (decoding each record to validate it exactly as the in-memory reader
   // would, then dropping the payload) and appends its events to the skeleton. Multiple
   // files concatenate in call order — the shard merge order. Returns the file's stamped
-  // shard id (0 when unsharded).
-  Result<uint32_t> AppendFile(const std::string& path);
+  // shard id (0 when unsharded). Reads go through `env` (nullptr = the production
+  // posix environment), so transient faults retry and injected-fault tests reach pass 1.
+  Result<uint32_t> AppendFile(const std::string& path, Env* env = nullptr);
+
+  // Steals `other`'s events/locs/files onto the end of this set (file indexes and the
+  // request index shifted), preserving AppendFile-call-order semantics — the sequential
+  // fold step of a parallel per-shard pass 1.
+  void Absorb(StreamTraceSet&& other);
 
   const Trace& skeleton() const { return skeleton_; }
   // The loader installs payloads into (and evicts them from) skeleton events in place;

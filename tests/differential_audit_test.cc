@@ -191,9 +191,12 @@ void ExpectSameVerdict(const Verdict& got, const Verdict& ref, const std::string
 }
 
 TEST(DifferentialAudit, GeneratedWorkloadsAgreeAcrossEnginesThreadsAndBudgets) {
+  const uint64_t base_seed = TestBaseSeed(0);
+  SCOPED_TRACE(SeedTraceMessage(base_seed));
   size_t case_id = 0;
   size_t tampered_cases = 0;
-  for (uint64_t seed : {11u, 22u, 33u, 44u}) {
+  for (uint64_t offset : {11u, 22u, 33u, 44u}) {
+    const uint64_t seed = base_seed + offset;
     Rng rng(seed);
     Workload w = seed % 2 == 0
                      ? RandomForumWorkload(&rng, 40 + static_cast<size_t>(rng.UniformInt(0, 20)))
@@ -264,7 +267,9 @@ TEST(DifferentialAudit, GeneratedWorkloadsAgreeAcrossEnginesThreadsAndBudgets) {
 // materialized merged epoch — pristine and with a tampered shard — across thread counts
 // and budgets.
 TEST(DifferentialAudit, RandomShardedEpochsMatchTheMergedInMemoryAudit) {
-  Rng rng(99);
+  const uint64_t base_seed = TestBaseSeed(0);
+  SCOPED_TRACE(SeedTraceMessage(base_seed));
+  Rng rng(base_seed + 99);
   Workload base;
   base.app = BuildCounterApp();
   ASSERT_TRUE(

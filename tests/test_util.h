@@ -4,6 +4,7 @@
 #define TESTS_TEST_UTIL_H_
 
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,25 @@ inline ServedWorkload ServeWorkload(const Workload& workload, int num_workers = 
   out.reports = core.TakeReports();
   out.final_state = core.SnapshotState();
   return out;
+}
+
+// Base seed for randomized sweeps: OROCHI_TEST_SEED when set (decimal or 0x-hex), else
+// `default_seed`. Sweeps derive their per-phase seeds from this base by fixed offsets, so
+// exporting the value a failure printed reruns the exact same schedule.
+inline uint64_t TestBaseSeed(uint64_t default_seed) {
+  const char* env = std::getenv("OROCHI_TEST_SEED");
+  if (env == nullptr || *env == '\0') {
+    return default_seed;
+  }
+  char* end = nullptr;
+  uint64_t v = std::strtoull(env, &end, 0);
+  return (end != nullptr && *end == '\0') ? v : default_seed;
+}
+
+// gtest SCOPED_TRACE message naming the base seed, so any failing assertion in a seeded
+// sweep prints the exact rerun command.
+inline std::string SeedTraceMessage(uint64_t base_seed) {
+  return "rerun with OROCHI_TEST_SEED=" + std::to_string(base_seed);
 }
 
 }  // namespace orochi

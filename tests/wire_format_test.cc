@@ -577,21 +577,76 @@ TEST(WireFormat, RejectsMissingFile) {
 }
 
 TEST(WireReports, RejectsOpLogForUnknownObject) {
-  Reports r;
-  r.objects.push_back({ObjectKind::kKv, ""});
-  r.op_logs.resize(1);
-  r.op_logs[0].push_back({1, 1, StateOpType::kKvGet, "k"});
+  // Hand-crafted v1 file (no per-record CRC, so the payload-level check is what fires):
+  // one declared object, then an op-log claiming object id 7.
+  std::string bytes = Header(2);  // Reports section.
+  std::string object;             // ObjectKind::kKv + empty name.
+  object.push_back(1);
+  AppendU32(&object, 0);
+  AppendRecord(&bytes, 1, object);
+  std::string oplog;
+  AppendU32(&oplog, 7);  // Object id 7 does not exist.
+  AppendU64(&oplog, 1);
+  AppendU64(&oplog, 1);  // rid.
+  AppendU32(&oplog, 1);  // opnum.
+  oplog.push_back(static_cast<char>(StateOpType::kKvGet));
+  AppendU32(&oplog, 1);
+  oplog += "k";
+  AppendRecord(&bytes, 2, oplog);
+  AppendRecord(&bytes, 0, "");  // End record.
   std::string path = TempPath("bad_objid.bin");
-  ASSERT_TRUE(WriteReportsFile(path, r).ok());
-  std::string bytes = ReadFileBytes(path);
-  // The op-log record's object-id field is the first u32 of the kRecOpLog payload.
-  // Object record: 9-byte frame + 1 (kind) + 4 (name len) = 14 bytes after the header.
-  size_t oplog_payload = 13 + 9 + 5 + 9;
-  bytes[oplog_payload] = 7;  // Object id 7 does not exist.
   WriteFileBytes(path, bytes);
   Result<Reports> back = ReadReportsFile(path);
   ASSERT_FALSE(back.ok());
   EXPECT_NE(back.error().find("unknown object id"), std::string::npos) << back.error();
+}
+
+// In a v2 file a flipped payload byte is caught by the per-record CRC, and the error
+// localizes the corruption to an exact record and byte offset in the named file.
+TEST(WireReports, CrcLocalizesPayloadCorruption) {
+  Reports r;
+  r.objects.push_back({ObjectKind::kKv, ""});
+  r.op_logs.resize(1);
+  r.op_logs[0].push_back({1, 1, StateOpType::kKvGet, "k"});
+  std::string path = TempPath("crc_flip.bin");
+  ASSERT_TRUE(WriteReportsFile(path, r).ok());
+  std::string bytes = ReadFileBytes(path);
+  // First payload byte of the op-log record: header(13) + object frame(13) + object
+  // payload(5) + op-log frame(13).
+  const size_t oplog_payload = 13 + 13 + 5 + 13;
+  bytes[oplog_payload] ^= 0x01;
+  WriteFileBytes(path, bytes);
+  Result<Reports> back = ReadReportsFile(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.error().find("crc mismatch"), std::string::npos) << back.error();
+  EXPECT_NE(back.error().find("at offset " + std::to_string(oplog_payload - 13)),
+            std::string::npos)
+      << back.error();
+  EXPECT_NE(back.error().find(path), std::string::npos) << back.error();
+}
+
+// v1 files (9-byte frames, no CRC, bare end record) written by the previous release must
+// keep reading back exactly.
+TEST(WireReports, ReadsV1FilesBackwardCompatibly) {
+  std::string bytes = Header(2);
+  std::string object;
+  object.push_back(0);  // ObjectKind::kRegister.
+  AppendU32(&object, 3);
+  object += "reg";
+  AppendRecord(&bytes, 1, object);
+  std::string counts;
+  AppendU64(&counts, 1);
+  AppendU64(&counts, 42);  // rid.
+  AppendU32(&counts, 2);   // ops.
+  AppendRecord(&bytes, 4, counts);
+  AppendRecord(&bytes, 0, "");
+  std::string path = TempPath("v1_compat.bin");
+  WriteFileBytes(path, bytes);
+  Result<Reports> back = ReadReportsFile(path);
+  ASSERT_TRUE(back.ok()) << back.error();
+  ASSERT_EQ(back.value().objects.size(), 1u);
+  EXPECT_EQ(back.value().objects[0].name, "reg");
+  EXPECT_EQ(back.value().op_counts.at(42), 2u);
 }
 
 // Drive Collector::Flush through record → flush → record → flush: each epoch's spill file

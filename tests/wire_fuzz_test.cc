@@ -17,6 +17,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/crc32c.h"
 #include "src/common/rng.h"
 #include "src/core/audit_session.h"
 #include "src/objects/wire_format.h"
@@ -46,9 +47,62 @@ void WriteAll(const std::string& path, const std::string& bytes) {
   ASSERT_EQ(std::fclose(f), 0);
 }
 
+// Flips one payload byte of a random v2 record and re-stamps that record's CRC, so the
+// file passes every wire-level check and the corruption reaches the decoders and the
+// audit itself — the adversarial case CRCs cannot catch (a tamperer can recompute them).
+// Returns the pristine bytes unchanged if the file has no non-empty records.
+std::string MutatePayloadCrcFixed(const std::string& pristine, Rng* rng,
+                                  std::string* label) {
+  std::string bytes = pristine;
+  struct Rec {
+    size_t frame;  // Offset of the 13-byte frame.
+    size_t len;    // Payload length.
+  };
+  std::vector<Rec> records;
+  size_t pos = wire::kEnvelopeHeaderBytes;
+  while (pos + wire::kRecordFrameBytesV2 <= bytes.size()) {
+    uint8_t type = 0;
+    uint64_t len = 0;
+    uint32_t crc = 0;
+    if (!wire::ParseRecordFrameV2(bytes.data() + pos, bytes.size() - pos, &type, &len,
+                                  &crc)) {
+      break;
+    }
+    if (type == wire::kEndRecord) {
+      break;
+    }
+    if (len > 0) {
+      records.push_back({pos, static_cast<size_t>(len)});
+    }
+    pos += wire::kRecordFrameBytesV2 + static_cast<size_t>(len);
+  }
+  if (records.empty()) {
+    *label = "crcfix-noop";
+    return bytes;
+  }
+  const Rec& rec = records[static_cast<size_t>(
+      rng->UniformInt(0, static_cast<int64_t>(records.size()) - 1))];
+  const size_t payload = rec.frame + wire::kRecordFrameBytesV2;
+  size_t off = payload + static_cast<size_t>(
+                             rng->UniformInt(0, static_cast<int64_t>(rec.len) - 1));
+  uint8_t mask = static_cast<uint8_t>(rng->UniformInt(1, 255));
+  bytes[off] = static_cast<char>(static_cast<uint8_t>(bytes[off]) ^ mask);
+  uint32_t crc = Crc32c(bytes.data() + payload, rec.len);
+  for (int i = 0; i < 4; i++) {
+    bytes[rec.frame + 9 + static_cast<size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  *label = "crcfix-flip@" + std::to_string(off) + "^" + std::to_string(mask);
+  return bytes;
+}
+
 // One mutation: flip a random byte (XOR with a nonzero mask, so the file always
-// changes) or truncate at a random length.
+// changes), truncate at a random length, or flip a payload byte with the record CRC
+// re-stamped (so the corruption survives the wire layer and hits the audit).
 std::string Mutate(const std::string& pristine, Rng* rng, std::string* label) {
+  if (rng->Chance(0.34)) {
+    return MutatePayloadCrcFixed(pristine, rng, label);
+  }
   std::string bytes = pristine;
   if (rng->Chance(0.25) && bytes.size() > 1) {
     size_t len = static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
@@ -212,8 +266,10 @@ TEST(WireFuzz, TraceAndReportsMutationsNeverCrashAndNeverFalselyAccept) {
   };
   const Kind kinds[] = {{"trace", &pristine_trace, true},
                         {"reports", &pristine_reports, false}};
+  const uint64_t base_seed = TestBaseSeed(0x5EED0000);
+  SCOPED_TRACE(SeedTraceMessage(base_seed));
   for (const Kind& kind : kinds) {
-    Rng rng(0x5EED0000 + (kind.mutate_trace ? 1 : 2));
+    Rng rng(base_seed + (kind.mutate_trace ? 1 : 2));
     SweepTally tally;
     for (int i = 0; i < 120; i++) {
       std::string label;
@@ -248,7 +304,9 @@ TEST(WireFuzz, ManifestMutationsNeverCrashAndNeverFalselyAccept) {
   FuzzFixture fx = BuildFixture();
   const std::string pristine = ReadAll(fx.manifest_path);
   const std::string mutated_path = ::testing::TempDir() + "/fuzz_mut.manifest";
-  Rng rng(0x5EED0003);
+  const uint64_t base_seed = TestBaseSeed(0x5EED0000);
+  SCOPED_TRACE(SeedTraceMessage(base_seed));
+  Rng rng(base_seed + 3);
   SweepTally tally;
   for (int i = 0; i < 120; i++) {
     std::string label;
@@ -266,7 +324,9 @@ TEST(WireFuzz, StateSnapshotMutationsNeverCrashAndLoadDefensively) {
   FuzzFixture fx = BuildFixture();
   const std::string pristine = ReadAll(fx.state_path);
   const std::string mutated_path = ::testing::TempDir() + "/fuzz_mut_state.bin";
-  Rng rng(0x5EED0004);
+  const uint64_t base_seed = TestBaseSeed(0x5EED0000);
+  SCOPED_TRACE(SeedTraceMessage(base_seed));
+  Rng rng(base_seed + 4);
   size_t read_errors = 0;
   size_t loaded = 0;
   for (int i = 0; i < 120; i++) {
