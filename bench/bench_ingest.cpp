@@ -1,0 +1,184 @@
+// Live-service ingestion: what does networked streaming cost over writing spill files
+// locally, and how long after the last shard seals does the verdict land? Emitted as
+// BENCH_ingest.json so the socket path's overhead is tracked PR over PR.
+//
+// Per workload (forum/wiki/conf) the harness serves one epoch, then ingests it twice:
+//   - direct: Collector::Flush + WriteReportsFile straight to disk — the offline
+//     deployment's spill path and the lower bound;
+//   - socket: a CollectorClient streams every record through a real loopback TCP
+//     connection into a live AuditService, which spools, seals, and audits.
+// Both report records/sec and MB/sec over the same record count and byte volume (the
+// sealed spool is byte-identical to the direct spill, so the denominators agree), and
+// the socket row adds seal→verdict latency: WaitEpochVerdict minus the moment the last
+// EndEpoch was acked.
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/timer.h"
+#include "src/core/audit_session.h"
+#include "src/objects/wire_format.h"
+#include "src/server/collector.h"
+#include "src/service/audit_service.h"
+#include "src/service/collector_client.h"
+
+namespace orochi {
+namespace {
+
+struct Row {
+  std::string workload;
+  size_t requests = 0;
+  uint64_t records = 0;        // Trace + reports records the epoch carries.
+  uint64_t spill_bytes = 0;    // Sealed trace + reports file bytes.
+  double direct_seconds = 0;   // Flush + WriteReportsFile to local disk.
+  double socket_seconds = 0;   // StreamEpoch through loopback TCP until sealed.
+  double verdict_seconds = 0;  // Seal acknowledged -> FeedShardedEpoch verdict.
+  double audit_seconds = 0;    // The same audit fed directly, for scale.
+  bool accepted = false;
+  bool parity = false;  // Socket verdict + end state == direct audit's.
+};
+
+uint64_t FileBytes(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size) : 0;
+}
+
+Row RunOne(const char* name, const Workload& w, const std::string& dir) {
+  Row row;
+  row.workload = name;
+  row.requests = w.items.size();
+  ServedRun served = ServeForBench(w, /*record=*/true);
+
+  // --- Direct path: the offline spill files (also the parity + audit baseline). ---
+  const std::string trace_path = dir + "/" + row.workload + "_trace.bin";
+  const std::string reports_path = dir + "/" + row.workload + "_reports.bin";
+  Collector direct_collector(/*shard_id=*/1);
+  direct_collector.Restore(Trace(served.trace));
+  WallTimer direct_wall;
+  if (!direct_collector.Flush(trace_path).ok() ||
+      !WriteReportsFile(reports_path, served.reports).ok()) {
+    std::fprintf(stderr, "%s: direct spill failed\n", name);
+    return row;
+  }
+  row.direct_seconds = direct_wall.Seconds();
+  row.spill_bytes = FileBytes(trace_path) + FileBytes(reports_path);
+  row.records = served.trace.events.size();
+  ForEachReportsRecord(served.reports,
+                       [&](uint8_t, const std::string&) { row.records++; });
+
+  AuditOptions audit_options;
+  AuditSession direct_session =
+      AuditSession::Open(&w.app, audit_options, w.initial);
+  WallTimer audit_wall;
+  Result<AuditResult> truth =
+      direct_session.FeedShardedEpoch({{trace_path, reports_path}});
+  row.audit_seconds = audit_wall.Seconds();
+  if (!truth.ok() || !truth.value().accepted) {
+    std::fprintf(stderr, "%s: direct audit rejected/errored\n", name);
+    return row;
+  }
+
+  // --- Socket path: the same records through loopback TCP into the live service. ---
+  ServiceOptions service_options;
+  service_options.spool_dir = dir;
+  AuditService service(&w.app, audit_options, w.initial, service_options);
+  if (!service.Start().ok()) {
+    std::fprintf(stderr, "%s: service start failed\n", name);
+    return row;
+  }
+  Collector socket_collector(/*shard_id=*/1);
+  socket_collector.Restore(Trace(served.trace));
+  CollectorClient client(service.address());
+  WallTimer socket_wall;
+  Status streamed = client.StreamEpoch(/*epoch=*/1, &socket_collector, served.reports);
+  row.socket_seconds = socket_wall.Seconds();
+  if (!streamed.ok()) {
+    std::fprintf(stderr, "%s: stream failed: %s\n", name, streamed.error().c_str());
+    service.Stop();
+    return row;
+  }
+  WallTimer verdict_wall;
+  Result<AuditResult> verdict = service.WaitEpochVerdict(1);
+  row.verdict_seconds = verdict_wall.Seconds();
+  service.Stop();
+  if (!verdict.ok() || !verdict.value().accepted) {
+    std::fprintf(stderr, "%s: socket audit rejected/errored\n", name);
+    return row;
+  }
+  row.accepted = true;
+  row.parity = InitialStateFingerprint(verdict.value().final_state) ==
+               InitialStateFingerprint(truth.value().final_state);
+
+  const double mb = static_cast<double>(row.spill_bytes) / (1024.0 * 1024.0);
+  std::fprintf(stderr,
+               "  %-6s %llu records, %.2f MB: direct %.0f rec/s (%.1f MB/s), socket "
+               "%.0f rec/s (%.1f MB/s), seal->verdict %.3fs (audit alone %.3fs) %s\n",
+               name, static_cast<unsigned long long>(row.records), mb,
+               static_cast<double>(row.records) / row.direct_seconds,
+               mb / row.direct_seconds,
+               static_cast<double>(row.records) / row.socket_seconds,
+               mb / row.socket_seconds, row.verdict_seconds, row.audit_seconds,
+               row.parity ? "PARITY" : "DIVERGED");
+  return row;
+}
+
+void EmitJson(const std::vector<Row>& rows) {
+  FILE* f = std::fopen("BENCH_ingest.json", "w");
+  if (f == nullptr) {
+    std::perror("BENCH_ingest.json");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ingest\",\n  \"scale\": %.3f,\n  \"rows\": [\n",
+               BenchScale());
+  for (size_t i = 0; i < rows.size(); i++) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"requests\": %zu, \"records\": %llu,\n"
+        "     \"spill_bytes\": %llu, \"direct_seconds\": %.6f,\n"
+        "     \"socket_seconds\": %.6f, \"direct_records_per_sec\": %.1f,\n"
+        "     \"socket_records_per_sec\": %.1f, \"direct_mb_per_sec\": %.3f,\n"
+        "     \"socket_mb_per_sec\": %.3f, \"seal_to_verdict_seconds\": %.6f,\n"
+        "     \"audit_seconds\": %.6f, \"accepted\": %s, \"parity\": %s}%s\n",
+        r.workload.c_str(), r.requests, static_cast<unsigned long long>(r.records),
+        static_cast<unsigned long long>(r.spill_bytes), r.direct_seconds,
+        r.socket_seconds, static_cast<double>(r.records) / r.direct_seconds,
+        static_cast<double>(r.records) / r.socket_seconds,
+        static_cast<double>(r.spill_bytes) / (1024.0 * 1024.0) / r.direct_seconds,
+        static_cast<double>(r.spill_bytes) / (1024.0 * 1024.0) / r.socket_seconds,
+        r.verdict_seconds, r.audit_seconds, r.accepted ? "true" : "false",
+        r.parity ? "true" : "false", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote BENCH_ingest.json\n");
+}
+
+}  // namespace
+}  // namespace orochi
+
+int main() {
+  using namespace orochi;
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") + "/orochi_bench_ingest";
+  if (std::system(("mkdir -p " + dir).c_str()) != 0) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+  std::vector<Row> rows;
+  std::fprintf(stderr, "ingest bench (scale %.2f):\n", BenchScale());
+  rows.push_back(RunOne("forum", BenchForum(), dir));
+  rows.push_back(RunOne("wiki", BenchWiki(), dir));
+  rows.push_back(RunOne("conf", BenchConf(), dir));
+  EmitJson(rows);
+  for (const Row& r : rows) {
+    if (!r.accepted || !r.parity) {
+      return 1;
+    }
+  }
+  return 0;
+}

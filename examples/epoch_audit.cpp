@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "examples/example_util.h"
 #include "src/core/audit_session.h"
 #include "src/core/auditor.h"
 #include "src/objects/wire_format.h"
@@ -29,36 +30,17 @@
 #include "src/workload/workloads.h"
 
 using namespace orochi;
+using demo::Fail;
+using demo::Scale;
 
 namespace {
 
 constexpr int kEpochs = 3;
 
-double Scale() {
-  const char* env = std::getenv("OROCHI_BENCH_SCALE");
-  if (env == nullptr) {
-    return 1.0;
-  }
-  double v = std::atof(env);
-  return v > 0 ? v : 1.0;
-}
-
-std::string Dir() {
-  const char* env = std::getenv("TMPDIR");
-  std::string dir = env != nullptr ? env : "/tmp";
-  return dir + "/orochi_epoch_audit";
-}
-
-bool Fail(const std::string& what) {
-  std::printf("FAILED: %s\n", what.c_str());
-  return false;
-}
-
 bool RunDemo() {
-  const std::string dir = Dir();
-  std::string mkdir = "mkdir -p " + dir;
-  if (std::system(mkdir.c_str()) != 0) {
-    return Fail("cannot create " + dir);
+  const std::string dir = demo::ScratchDir("epoch_audit");
+  if (dir.empty()) {
+    return Fail("cannot create a scratch directory");
   }
 
   ForumConfig config;

@@ -1,0 +1,108 @@
+// Shared plumbing for the examples, so each demo's source is its scenario rather than
+// boilerplate: the OROCHI_BENCH_SCALE knob, scratch directories, failure reporting, the
+// OROCHI_FAULT_SEED fault-injection environment, the tiny counter workload every
+// infrastructure demo audits, and the serve-traffic-through-a-concurrent-server loops.
+#ifndef EXAMPLES_EXAMPLE_UTIL_H_
+#define EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/io_env.h"
+#include "src/server/collector.h"
+#include "src/server/server_core.h"
+#include "src/server/thread_server.h"
+#include "src/workload/workloads.h"
+
+namespace orochi {
+namespace demo {
+
+// OROCHI_BENCH_SCALE scales request counts (CI smoke-runs with a small scale).
+inline double Scale() {
+  const char* env = std::getenv("OROCHI_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+// TMPDIR/orochi_<name>, created; empty string when creation failed.
+inline std::string ScratchDir(const std::string& name) {
+  const char* env = std::getenv("TMPDIR");
+  std::string dir = std::string(env != nullptr ? env : "/tmp") + "/orochi_" + name;
+  if (std::system(("mkdir -p " + dir).c_str()) != 0) {
+    return std::string();
+  }
+  return dir;
+}
+
+inline bool Fail(const std::string& what) {
+  std::printf("FAILED: %s\n", what.c_str());
+  return false;
+}
+
+// OROCHI_FAULT_SEED, when set, wraps a demo's file I/O in a FaultInjectingEnv firing only
+// absorbable faults (transient read errors + short reads) — the demo must behave
+// identically, which is what the CI fault matrix asserts. nullptr = plain posix I/O.
+inline FaultInjectingEnv* DemoFaultEnv() {
+  static FaultInjectingEnv* env = []() -> FaultInjectingEnv* {
+    const char* seed = std::getenv("OROCHI_FAULT_SEED");
+    if (seed == nullptr || *seed == '\0') {
+      return nullptr;
+    }
+    FaultOptions fo;
+    fo.seed = static_cast<uint64_t>(std::strtoull(seed, nullptr, 0));
+    fo.p_read_transient = 0.02;
+    fo.p_short_read = 0.10;
+    return new FaultInjectingEnv(nullptr, fo);
+  }();
+  return env;
+}
+
+// The tiny per-key visit counter backed by all three object kinds, with the hits table
+// the /counter scripts write — the workload every infrastructure demo audits.
+inline Result<Workload> MakeCounterWorkload() {
+  Workload w;
+  w.name = "counter";
+  w.app = BuildCounterApp();
+  if (Result<StmtResult> r =
+          w.initial.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
+      !r.ok()) {
+    return Result<Workload>::Error(r.error());
+  }
+  return w;
+}
+
+// Serves every item of `w` through a concurrent ThreadServer and drains.
+inline void ServeAll(const Workload& w, ServerCore* core, Collector* collector,
+                     int workers = 4) {
+  ThreadServer server(core, collector, workers);
+  RequestId rid = 1;
+  for (const WorkItem& item : w.items) {
+    server.Submit(rid++, item.script, item.params);
+  }
+  server.Drain();
+}
+
+// One front end's deterministic slice of counter traffic for the sharded demos: disjoint
+// key/user space and a disjoint rid range per (shard, epoch), recorded into `collector`.
+inline void ServeCounterShardSlice(ServerCore* core, Collector* collector,
+                                   uint32_t shard_id, uint64_t epoch, size_t requests,
+                                   int workers = 4) {
+  ThreadServer server(core, collector, workers);
+  RequestId rid = 1 + 100000 * shard_id + 1000000 * (epoch - 1);
+  for (size_t i = 0; i < requests; i++) {
+    RequestParams params;
+    params["key"] = "s" + std::to_string(shard_id) + "_k" + std::to_string(i % 11);
+    params["who"] = "s" + std::to_string(shard_id) + "_u" + std::to_string(i % 17);
+    server.Submit(rid++, (i % 4 == 3) ? "/counter/read" : "/counter/hit", params);
+  }
+  server.Drain();
+}
+
+}  // namespace demo
+}  // namespace orochi
+
+#endif  // EXAMPLES_EXAMPLE_UTIL_H_

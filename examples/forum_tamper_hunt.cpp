@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "examples/example_util.h"
 #include "src/core/auditor.h"
 #include "src/server/collector.h"
 #include "src/server/tamper.h"
@@ -34,14 +35,7 @@ int main() {
 
   ServerCore core(&w.app, w.initial, ServerOptions{.record_reports = true});
   Collector collector;
-  {
-    ThreadServer server(&core, &collector, 4);
-    RequestId rid = 1;
-    for (const WorkItem& item : w.items) {
-      server.Submit(rid++, item.script, item.params);
-    }
-    server.Drain();
-  }
+  demo::ServeAll(w, &core, &collector);
   Trace honest_trace = collector.TakeTrace();
   Reports honest_reports = core.TakeReports();
 

@@ -5,6 +5,7 @@
 // Build & run:  cmake -B build -G Ninja && cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/core/auditor.h"
 #include "src/server/collector.h"
 #include "src/server/server_core.h"
@@ -15,17 +16,15 @@
 using namespace orochi;
 
 int main() {
-  // 1. The principal's application: a per-key visit counter (wscript, compiled on load).
-  Application app = BuildCounterApp();
-
-  // 2. The state both sides agree on at the start of the audit period.
-  InitialState initial;
-  Result<StmtResult> created =
-      initial.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
-  if (!created.ok()) {
-    std::printf("setup failed: %s\n", created.error().c_str());
+  // 1+2. The principal's application — a per-key visit counter (wscript, compiled on
+  //      load) — and the state both sides agree on at the start of the audit period.
+  Result<Workload> workload = demo::MakeCounterWorkload();
+  if (!workload.ok()) {
+    std::printf("setup failed: %s\n", workload.error().c_str());
     return 1;
   }
+  const Application& app = workload.value().app;
+  const InitialState& initial = workload.value().initial;
 
   // 3. The executor (untrusted) + the collector (trusted middlebox).
   ServerCore core(&app, initial, ServerOptions{.record_reports = true});

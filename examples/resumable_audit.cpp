@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "examples/example_util.h"
 #include "src/common/io_env.h"
 #include "src/core/audit_session.h"
 #include "src/core/auditor.h"
@@ -27,21 +28,10 @@
 
 using namespace orochi;
 
+using demo::Fail;
+using demo::Scale;
+
 namespace {
-
-double Scale() {
-  const char* env = std::getenv("OROCHI_BENCH_SCALE");
-  if (env == nullptr) {
-    return 1.0;
-  }
-  double v = std::atof(env);
-  return v > 0 ? v : 1.0;
-}
-
-bool Fail(const std::string& what) {
-  std::printf("FAILED: %s\n", what.c_str());
-  return false;
-}
 
 // Simulates the verifier process dying mid-pass-2: the first `allowed` payload loads
 // succeed (their chunks retire and are journaled), then every load fails permanently.
@@ -69,19 +59,16 @@ class KillSwitchLoader : public TraceChunkLoader {
 };
 
 bool RunDemo() {
-  const char* tmp = std::getenv("TMPDIR");
-  const std::string dir = std::string(tmp != nullptr ? tmp : "/tmp") + "/orochi_resumable";
-  if (std::system(("mkdir -p " + dir).c_str()) != 0) {
-    return Fail("cannot create " + dir);
+  const std::string dir = demo::ScratchDir("resumable");
+  if (dir.empty()) {
+    return Fail("cannot create a scratch directory");
   }
 
-  Workload w;
-  w.app = BuildCounterApp();
-  if (Result<StmtResult> r =
-          w.initial.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
-      !r.ok()) {
-    return Fail(r.error());
+  Result<Workload> workload = demo::MakeCounterWorkload();
+  if (!workload.ok()) {
+    return Fail(workload.error());
   }
+  const Workload& w = workload.value();
   const size_t requests = static_cast<size_t>(1200 * Scale()) + 64;
 
   // Serve and spill one epoch.

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "examples/example_util.h"
 #include "src/common/io_env.h"
 #include "src/core/audit_session.h"
 #include "src/objects/wire_format.h"
@@ -37,47 +38,13 @@
 #include "src/workload/workloads.h"
 
 using namespace orochi;
+using demo::DemoFaultEnv;
+using demo::Fail;
+using demo::Scale;
 
 namespace {
 
 constexpr uint32_t kShards = 3;
-
-double Scale() {
-  const char* env = std::getenv("OROCHI_BENCH_SCALE");
-  if (env == nullptr) {
-    return 1.0;
-  }
-  double v = std::atof(env);
-  return v > 0 ? v : 1.0;
-}
-
-std::string Dir() {
-  const char* env = std::getenv("TMPDIR");
-  std::string dir = env != nullptr ? env : "/tmp";
-  return dir + "/orochi_sharded_stream_audit";
-}
-
-bool Fail(const std::string& what) {
-  std::printf("FAILED: %s\n", what.c_str());
-  return false;
-}
-
-// OROCHI_FAULT_SEED, when set, wraps the whole demo's I/O in a FaultInjectingEnv firing
-// only absorbable faults. nullptr (the default) is the plain posix environment.
-FaultInjectingEnv* DemoFaultEnv() {
-  static FaultInjectingEnv* env = []() -> FaultInjectingEnv* {
-    const char* seed = std::getenv("OROCHI_FAULT_SEED");
-    if (seed == nullptr || *seed == '\0') {
-      return nullptr;
-    }
-    FaultOptions fo;
-    fo.seed = static_cast<uint64_t>(std::strtoull(seed, nullptr, 0));
-    fo.p_read_transient = 0.02;
-    fo.p_short_read = 0.10;
-    return new FaultInjectingEnv(nullptr, fo);
-  }();
-  return env;
-}
 
 // One front end's slice of the epoch: disjoint key/user space and a disjoint rid range,
 // served on its own executor behind its own shard-stamped collector.
@@ -94,17 +61,7 @@ bool ServeShard(const Workload& w, uint32_t shard_id, size_t requests,
   ServerCore core(&w.app, w.initial,
                   ServerOptions{.record_reports = true, .io_env = env});
   Collector collector(shard_id, env);
-  {
-    ThreadServer server(&core, &collector, /*num_workers=*/4);
-    RequestId rid = 1 + 100000 * shard_id;
-    for (size_t i = 0; i < requests; i++) {
-      RequestParams params;
-      params["key"] = "s" + std::to_string(shard_id) + "_k" + std::to_string(i % 11);
-      params["who"] = "s" + std::to_string(shard_id) + "_u" + std::to_string(i % 17);
-      server.Submit(rid++, (i % 4 == 3) ? "/counter/read" : "/counter/hit", params);
-    }
-    server.Drain();
-  }
+  demo::ServeCounterShardSlice(&core, &collector, shard_id, /*epoch=*/1, requests);
   out->trace_path = dir + "/trace_shard" + std::to_string(shard_id) + ".bin";
   out->reports_path = dir + "/reports_shard" + std::to_string(shard_id) + ".bin";
   if (Status st = collector.Flush(out->trace_path); !st.ok()) {
@@ -117,21 +74,18 @@ bool ServeShard(const Workload& w, uint32_t shard_id, size_t requests,
 }
 
 bool RunDemo() {
-  const std::string dir = Dir();
-  std::string mkdir = "mkdir -p " + dir;
-  if (std::system(mkdir.c_str()) != 0) {
-    return Fail("cannot create " + dir);
+  const std::string dir = demo::ScratchDir("sharded_stream_audit");
+  if (dir.empty()) {
+    return Fail("cannot create a scratch directory");
   }
 
   // The sharded deployment's contract: every front end starts from the same agreed
   // initial state and serves a disjoint slice of the traffic.
-  Workload w;
-  w.app = BuildCounterApp();
-  if (Result<StmtResult> r =
-          w.initial.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)");
-      !r.ok()) {
-    return Fail(r.error());
+  Result<Workload> workload = demo::MakeCounterWorkload();
+  if (!workload.ok()) {
+    return Fail(workload.error());
   }
+  const Workload& w = workload.value();
   const size_t per_shard = static_cast<size_t>(600 * Scale()) + 8;
 
   Env* fault_env = DemoFaultEnv();

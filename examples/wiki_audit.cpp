@@ -4,6 +4,7 @@
 // (so consecutive audit periods chain, §4.5).
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/common/timer.h"
 #include "src/core/auditor.h"
 #include "src/server/collector.h"
@@ -22,14 +23,7 @@ int main() {
   ServerCore core(&w.app, w.initial, ServerOptions{.record_reports = true});
   Collector collector;
   WallTimer serve_timer;
-  {
-    ThreadServer server(&core, &collector, 4);
-    RequestId rid = 1;
-    for (const WorkItem& item : w.items) {
-      server.Submit(rid++, item.script, item.params);
-    }
-    server.Drain();
-  }
+  demo::ServeAll(w, &core, &collector);
   double serve_seconds = serve_timer.Seconds();
   Trace trace = collector.TakeTrace();
   Reports reports = core.TakeReports();

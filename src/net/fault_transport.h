@@ -1,0 +1,81 @@
+// Deterministic fault injection for the socket path, mirroring FaultInjectingEnv
+// (src/common/io_env.h): a schedule fully determined by (seed, operation index) decides
+// which reads disconnect, which writes are torn short, and which outgoing frames are
+// corrupted in flight — so the live-service fault-taxonomy claims (never crash, never
+// falsely accept, disconnects classify as retryable I/O) are provable sweeps, not hopes.
+#ifndef SRC_NET_FAULT_TRANSPORT_H_
+#define SRC_NET_FAULT_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/net/transport.h"
+
+namespace orochi {
+
+struct NetFaultOptions {
+  uint64_t seed = 1;
+  // Per-operation fault probabilities (at most one fault fires per operation).
+  double p_disconnect_read = 0;   // A read finds the connection dead (peer reset).
+  double p_disconnect_write = 0;  // A write finds the connection dead.
+  double p_short_write = 0;       // A strict prefix lands on the wire, then disconnect.
+  double p_corrupt_write = 0;     // One byte of the written buffer flips in flight.
+  // Scripted one-shot kill: this many write operations (across all faulted connections)
+  // complete, then the next write disconnects — modeling a collector process killed
+  // mid-epoch for reconnect-with-resume tests.
+  static constexpr uint64_t kNever = UINT64_MAX;
+  uint64_t disconnect_after_writes = kNever;
+};
+
+// Wraps a base transport; connections obtained through Connect() replay the fault
+// schedule. Listen() passes through untouched — the service side stays faithful, the
+// injected faults model the collector's network path. An injected disconnect also shuts
+// the underlying socket down, so the un-faulted peer observes a real disconnect.
+class FaultInjectingTransport : public Transport {
+ public:
+  FaultInjectingTransport(Transport* base, NetFaultOptions options)
+      : base_(ResolveTransport(base)), options_(options) {
+    remaining_writes_.store(options.disconnect_after_writes == NetFaultOptions::kNever
+                                ? INT64_MAX
+                                : static_cast<int64_t>(options.disconnect_after_writes));
+  }
+
+  Result<std::unique_ptr<Listener>> Listen(const std::string& address) override {
+    return base_->Listen(address);
+  }
+  Result<std::unique_ptr<Connection>> Connect(const std::string& address) override;
+
+  uint64_t faults_injected() const { return faults_injected_.load(); }
+  uint64_t disconnects() const { return disconnects_.load(); }
+  uint64_t corruptions() const { return corruptions_.load(); }
+
+  // Schedule internals, public for the wrapped connections this transport hands out.
+  const NetFaultOptions& options() const { return options_; }
+  // Draws one uniform [0,1) double for the next operation in the schedule.
+  double Draw();
+  // Consumes one scripted-kill slot. True when this write is the kill point.
+  bool TakeKillSlot();
+  void CountDisconnect() {
+    faults_injected_.fetch_add(1);
+    disconnects_.fetch_add(1);
+  }
+  void CountCorruption() {
+    faults_injected_.fetch_add(1);
+    corruptions_.fetch_add(1);
+  }
+
+ private:
+  Transport* base_;
+  NetFaultOptions options_;
+  std::atomic<uint64_t> op_index_{0};
+  std::atomic<int64_t> remaining_writes_{INT64_MAX};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> disconnects_{0};
+  std::atomic<uint64_t> corruptions_{0};
+};
+
+}  // namespace orochi
+
+#endif  // SRC_NET_FAULT_TRANSPORT_H_

@@ -168,6 +168,14 @@ bool ParseRecordFrameV2(const char* data, size_t n, uint8_t* type, uint64_t* len
   return c.TakeU8(type) && c.TakeU64(len) && c.TakeU32(crc);
 }
 
+void AppendEndRecordFrame(std::string* out, uint64_t records, uint64_t end_offset) {
+  // Byte-identical to Sink::WriteEnd: the footer proves a reader saw the whole section.
+  std::string footer;
+  wire_primitives::PutU64(&footer, records);
+  wire_primitives::PutU64(&footer, end_offset);
+  AppendRecordFrame(out, kEndRecord, footer);
+}
+
 // Version-aware record stream over one open section file: validates the envelope header
 // on Open, then yields records until the end record, verifying per-record CRCs and the
 // footer for v2 files. All reads retry transient faults (ReadFullAt); every error names
@@ -382,15 +390,17 @@ Result<TraceEvent> DecodeTraceEvent(uint8_t type, const std::string& payload,
 
 // --- reports section encode ---
 
-void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
-  sink->WriteHeader(wire::Section::kReports);
+// One canonical record enumeration backs the file writer, the exact byte accounting, and
+// the public ForEachReportsRecord used by the network sending side.
+void EnumerateReportsRecords(const Reports& reports, bool nondet_only,
+                             const std::function<void(uint8_t, const std::string&)>& fn) {
   std::string payload;
   if (!nondet_only) {
     for (const ObjectDesc& d : reports.objects) {
       payload.clear();
       PutU8(&payload, static_cast<uint8_t>(d.kind));
       PutStr(&payload, d.name);
-      sink->WriteRecord(kRecObject, payload);
+      fn(kRecObject, payload);
     }
     for (size_t i = 0; i < reports.op_logs.size(); i++) {
       const std::vector<OpRecord>& log = reports.op_logs[i];
@@ -406,7 +416,7 @@ void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
         PutU8(&payload, static_cast<uint8_t>(op.type));
         PutStr(&payload, op.contents);
       }
-      sink->WriteRecord(kRecOpLog, payload);
+      fn(kRecOpLog, payload);
     }
     for (const auto& [tag, rids] : reports.groups) {
       payload.clear();
@@ -415,7 +425,7 @@ void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
       for (RequestId rid : rids) {
         PutU64(&payload, rid);
       }
-      sink->WriteRecord(kRecGroup, payload);
+      fn(kRecGroup, payload);
     }
     // unordered_map -> sorted so the encoding (and its byte count) is canonical.
     std::vector<std::pair<RequestId, uint32_t>> counts(reports.op_counts.begin(),
@@ -427,7 +437,7 @@ void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
       PutU64(&payload, rid);
       PutU32(&payload, count);
     }
-    sink->WriteRecord(kRecOpCounts, payload);
+    fn(kRecOpCounts, payload);
   }
   std::vector<RequestId> nondet_rids;
   nondet_rids.reserve(reports.nondet.size());
@@ -445,8 +455,15 @@ void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
       PutStr(&payload, r.name);
       PutStr(&payload, r.value);
     }
-    sink->WriteRecord(kRecNondet, payload);
+    fn(kRecNondet, payload);
   }
+}
+
+void WriteReportsToSink(Sink* sink, const Reports& reports, bool nondet_only) {
+  sink->WriteHeader(wire::Section::kReports);
+  EnumerateReportsRecords(reports, nondet_only, [&](uint8_t type, const std::string& payload) {
+    sink->WriteRecord(type, payload);
+  });
   sink->WriteEnd();
 }
 
@@ -1088,6 +1105,16 @@ Result<Trace> ReadTraceFile(const std::string& path, Env* env) {
 
 Result<TraceEvent> DecodeTraceEventPayload(uint8_t record_type, const std::string& payload) {
   return DecodeTraceEvent(record_type, payload, "trace file");
+}
+
+void EncodeTraceEventRecord(const TraceEvent& event, uint8_t* type, std::string* payload) {
+  *type = TraceEventRecordType(event);
+  EncodeTraceEvent(event, payload);
+}
+
+void ForEachReportsRecord(const Reports& reports,
+                          const std::function<void(uint8_t, const std::string&)>& fn) {
+  EnumerateReportsRecords(reports, /*nondet_only=*/false, fn);
 }
 
 // --- Shard manifest files ---

@@ -30,6 +30,7 @@
 #define SRC_OBJECTS_WIRE_FORMAT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -98,6 +99,11 @@ void AppendRecordFrame(std::string* out, uint8_t type, const std::string& payloa
 // Parses the v2 record frame at the start of [data, data+n). False when n is too small.
 bool ParseRecordFrameV2(const char* data, size_t n, uint8_t* type, uint64_t* len,
                         uint32_t* crc);
+
+// Appends the v2 end record (type 0 + CRC'd footer: `records` non-end records, end frame
+// beginning at byte `end_offset`), for spool/sidecar writers that append record frames
+// incrementally and must seal a section byte-identical to the file writers' output.
+void AppendEndRecordFrame(std::string* out, uint64_t records, uint64_t end_offset);
 
 // Version-aware record stream over one section file (definition in wire_format.cc).
 class RecordStream;
@@ -186,6 +192,11 @@ Result<Trace> ReadTraceFile(const std::string& path, Env* env = nullptr);
 // from a point read at an offset recorded during the streaming pass.
 Result<TraceEvent> DecodeTraceEventPayload(uint8_t record_type, const std::string& payload);
 
+// Encodes one trace event as the record TraceWriter would frame — record type + canonical
+// payload — so the socket transport (src/net) can stream events record-by-record and a
+// receiver spooling them produces a file byte-identical to Collector::Flush's.
+void EncodeTraceEventRecord(const TraceEvent& event, uint8_t* type, std::string* payload);
+
 // --- Reports files ---
 // Section layout: object-table records (in object-id order), one op-log record per
 // non-empty log, group records, one op-counts record, nondet records (sorted by rid so the
@@ -264,6 +275,14 @@ std::vector<OpLogEntrySpan> IndexOpLogEntries(const std::string& payload);
 // reader would. The out-of-core audit uses this to materialize an entry from a point read
 // at an offset recorded during the streaming pass.
 Status DecodeOpLogEntry(const char* data, size_t size, OpRecord* out);
+
+// Enumerates the records a reports spill file for `reports` would contain, in file order
+// (the canonical encoding ReportsWriter produces), invoking `fn(type, payload)` per
+// record — the end record excluded. Shared by ReportsWriter::WriteFile and the network
+// CollectorClient, so a reports stream spooled record-by-record is byte-identical to a
+// direct spill of the same Reports.
+void ForEachReportsRecord(const Reports& reports,
+                          const std::function<void(uint8_t, const std::string&)>& fn);
 
 inline Status WriteReportsFile(const std::string& path, const Reports& reports,
                                Env* env = nullptr) {

@@ -5,6 +5,7 @@
 #ifndef SRC_SERVER_COLLECTOR_H_
 #define SRC_SERVER_COLLECTOR_H_
 
+#include <iterator>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -61,6 +62,22 @@ class Collector {
     Trace out = std::move(trace_);
     trace_ = Trace{};
     return out;
+  }
+
+  // Returns a trace a previous TakeTrace() handed out, after the caller failed to ship
+  // it (e.g. CollectorClient ran out of reconnect attempts): the returned events go back
+  // in front of anything recorded since, so the next epoch close carries them and no
+  // recorded traffic is lost.
+  void Restore(Trace&& trace) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (trace_.events.empty()) {
+      trace_ = std::move(trace);
+      return;
+    }
+    trace.events.insert(trace.events.end(),
+                        std::make_move_iterator(trace_.events.begin()),
+                        std::make_move_iterator(trace_.events.end()));
+    trace_ = std::move(trace);
   }
 
   // Closes the current epoch: spills the recorded trace to a wire-format file (written

@@ -1,0 +1,113 @@
+// orochi-auditd: the long-running verifier daemon. Listens for collector shard
+// connections, spools their streamed epochs into wire-format spill files, and audits each
+// epoch as it seals, chaining accepted final states continuously.
+//
+// Configuration is environment-driven (malformed values are hard errors, never silent
+// fallbacks):
+//   OROCHI_APP               counter | wiki | forum | conf   (which application to audit)
+//   OROCHI_SPOOL_DIR         directory for per-epoch spill files (default ".")
+//   OROCHI_LISTEN_ADDRESS    tcp:HOST:PORT or unix:/path (default tcp:127.0.0.1:0;
+//                            the bound address is printed on stdout)
+//   OROCHI_SHARDS_PER_EPOCH  collector shards per epoch (default 1)
+//   OROCHI_MAX_INFLIGHT_BYTES / OROCHI_ACK_INTERVAL  backpressure knobs
+//   OROCHI_EPOCH_LIMIT       exit after this many epochs have verdicts (default 0 =
+//                            run until killed); smoke tests set a small limit
+//   OROCHI_AUDIT_THREADS / OROCHI_AUDIT_BUDGET  as everywhere else
+//
+// Output: one "listening on <address>" line, then one line per epoch verdict:
+//   epoch <E>: ACCEPTED | epoch <E>: REJECTED (<reason>) | epoch <E>: ERROR (<error>)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/strings.h"
+#include "src/service/audit_service.h"
+#include "src/workload/workloads.h"
+
+namespace {
+
+using namespace orochi;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "orochi-auditd: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  std::string app_name = "counter";
+  if (const char* env = std::getenv("OROCHI_APP")) {
+    app_name = env;
+  }
+  Application app;
+  if (app_name == "counter") {
+    app = BuildCounterApp();
+  } else if (app_name == "wiki") {
+    app = BuildWikiApp();
+  } else if (app_name == "forum") {
+    app = BuildForumApp();
+  } else if (app_name == "conf") {
+    app = BuildConfApp();
+  } else {
+    return Fail("config: OROCHI_APP='" + app_name +
+                "' is not one of counter|wiki|forum|conf");
+  }
+
+  ServiceOptions base;
+  base.spool_dir = ".";
+  if (const char* env = std::getenv("OROCHI_SPOOL_DIR")) {
+    base.spool_dir = env;
+  }
+  Result<ServiceOptions> options = ResolveServiceOptions(base);
+  if (!options.ok()) {
+    return Fail(options.error());
+  }
+
+  uint64_t epoch_limit = 0;
+  if (const char* env = std::getenv("OROCHI_EPOCH_LIMIT")) {
+    Result<uint64_t> v = ParseUint64(env);
+    if (!v.ok()) {
+      return Fail("config: OROCHI_EPOCH_LIMIT='" + std::string(env) +
+                  "' is not a valid epoch count (" + v.error() + ")");
+    }
+    epoch_limit = v.value();
+  }
+
+  AuditService service(&app, AuditOptions{}, InitialState{}, options.value());
+  if (Status st = service.Start(); !st.ok()) {
+    return Fail(st.error());
+  }
+  std::printf("listening on %s\n", service.address().c_str());
+  std::fflush(stdout);
+
+  // Epochs are numbered from 1 by convention; wait for each in turn. With no limit this
+  // loop runs until the process is killed (the service itself has no epoch ceiling).
+  for (uint64_t epoch = 1; epoch_limit == 0 || epoch <= epoch_limit; epoch++) {
+    Result<AuditResult> verdict = service.WaitEpochVerdict(epoch);
+    if (!verdict.ok()) {
+      std::printf("epoch %llu: ERROR (%s)\n", static_cast<unsigned long long>(epoch),
+                  verdict.error().c_str());
+      std::fflush(stdout);
+      service.Stop();
+      return 2;
+    }
+    if (verdict.value().accepted) {
+      std::printf("epoch %llu: ACCEPTED\n", static_cast<unsigned long long>(epoch));
+    } else {
+      std::printf("epoch %llu: REJECTED (%s)\n", static_cast<unsigned long long>(epoch),
+                  verdict.value().reason.c_str());
+    }
+    std::fflush(stdout);
+  }
+  service.Stop();
+  const ServiceStats stats = service.stats();
+  std::printf("spooled %llu records (%llu bytes), sealed %llu shards, audited %llu epochs "
+              "(%llu accepted)\n",
+              static_cast<unsigned long long>(stats.records_spooled),
+              static_cast<unsigned long long>(stats.bytes_spooled),
+              static_cast<unsigned long long>(stats.shards_sealed),
+              static_cast<unsigned long long>(stats.epochs_audited),
+              static_cast<unsigned long long>(stats.epochs_accepted));
+  return 0;
+}
