@@ -132,8 +132,8 @@ void EmitJson(const std::vector<Row>& rows) {
     std::perror("BENCH_ingest.json");
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"ingest\",\n  \"scale\": %.3f,\n  \"rows\": [\n",
-               BenchScale());
+  std::fprintf(f, "{\n  \"bench\": \"ingest\",\n  \"scale\": %.3f,\n  \"meta\": %s,\n  \"rows\": [\n",
+               BenchScale(), BenchMetaJson().c_str());
   for (size_t i = 0; i < rows.size(); i++) {
     const Row& r = rows[i];
     std::fprintf(

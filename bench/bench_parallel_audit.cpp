@@ -65,8 +65,8 @@ void EmitJson(const std::vector<Sweep>& sweeps) {
     std::perror("BENCH_parallel_audit.json");
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"parallel_audit\",\n  \"scale\": %.3f,\n  \"sweeps\": [\n",
-               BenchScale());
+  std::fprintf(f, "{\n  \"bench\": \"parallel_audit\",\n  \"scale\": %.3f,\n  \"meta\": %s,\n  \"sweeps\": [\n",
+               BenchScale(), BenchMetaJson().c_str());
   for (size_t i = 0; i < sweeps.size(); i++) {
     const Sweep& s = sweeps[i];
     std::fprintf(f, "    {\"workload\": \"%s\", \"requests\": %zu, \"points\": [\n",

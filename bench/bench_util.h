@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "src/common/timer.h"
 #include "src/objects/reports.h"
@@ -28,6 +29,22 @@ inline double BenchScale() {
 }
 
 inline size_t Scaled(size_t n) { return static_cast<size_t>(static_cast<double>(n) * BenchScale()); }
+
+// Run metadata every BENCH_*.json stamps next to its rows, so a result file is
+// interpretable on its own: what machine shape, what scale, what build. Rendered as one
+// JSON object (no trailing newline); embed as the "meta" field.
+inline std::string BenchMetaJson() {
+#ifdef NDEBUG
+  const char* build = "release";
+#else
+  const char* build = "debug";
+#endif
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"hardware_threads\": %u, \"bench_scale\": %.3f, \"build\": \"%s\"}",
+                std::thread::hardware_concurrency(), BenchScale(), build);
+  return buf;
+}
 
 struct ServedRun {
   Trace trace;

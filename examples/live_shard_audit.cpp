@@ -19,6 +19,9 @@
 // Build & run:  cmake -B build && cmake --build build && ./build/live_shard_audit
 // OROCHI_BENCH_SCALE scales the request count (CI smoke-runs with a small scale).
 // OROCHI_FAULT_SEED reseeds epoch 2's network fault schedule.
+// OROCHI_STATS_ADDRESS additionally stands up the observability endpoint; the demo then
+// scrapes /metrics, /epochs, and /shards itself and fails unless the audit's footprint
+// (ingest counters, pass-2 phase time, accepted epochs, sealed shards) is visible.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -53,6 +56,44 @@ struct FrontEnd {
   std::unique_ptr<Collector> collector;
   Reports reports;  // The epoch's executor reports, held between serve and stream.
 };
+
+// One HTTP/1.0 GET against the stats endpoint; returns the response body on a 200.
+Result<std::string> HttpGet(const std::string& address, const std::string& path) {
+  Result<std::unique_ptr<Connection>> conn = Transport::Default()->Connect(address);
+  if (!conn.ok()) {
+    return Result<std::string>::Error(conn.error());
+  }
+  if (Status st = conn.value()->WriteAll("GET " + path + " HTTP/1.0\r\n\r\n"); !st.ok()) {
+    return Result<std::string>::Error(st.error());
+  }
+  std::string response;
+  char buf[4096];
+  while (true) {
+    Result<size_t> n = conn.value()->ReadSome(buf, sizeof(buf));
+    if (!n.ok()) {
+      return Result<std::string>::Error(n.error());
+    }
+    if (n.value() == 0) {
+      break;
+    }
+    response.append(buf, n.value());
+  }
+  const size_t body = response.find("\r\n\r\n");
+  if (response.find(" 200 OK") == std::string::npos || body == std::string::npos) {
+    return Result<std::string>::Error("GET " + path + " did not return 200: " +
+                                      response.substr(0, response.find('\r')));
+  }
+  return response.substr(body + 4);
+}
+
+// Value of one `name value` series in a Prometheus text exposition; 0 when absent.
+uint64_t SeriesValue(const std::string& text, const std::string& name) {
+  const size_t pos = text.find("\n" + name + " ");
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::strtoull(text.c_str() + pos + name.size() + 2, nullptr, 10);
+}
 
 Result<std::string> Slurp(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -241,6 +282,49 @@ bool RunDemo() {
               "disconnects are retried, never tamper evidence\n",
               static_cast<unsigned long long>(faulty.faults_injected()),
               static_cast<unsigned long long>(e2_stats.reconnects));
+
+  // --- Observability: with OROCHI_STATS_ADDRESS set, scrape the live endpoints and
+  // demand the run's footprint is visible in them (the CI smoke runs this way). ---
+  if (!service.stats_address().empty()) {
+    Result<std::string> metrics = HttpGet(service.stats_address(), "/metrics");
+    if (!metrics.ok()) {
+      return Fail("scraping /metrics: " + metrics.error());
+    }
+    const uint64_t spooled =
+        SeriesValue(metrics.value(), "orochi_service_records_spooled_total");
+    const uint64_t pass2_micros =
+        SeriesValue(metrics.value(), "orochi_phase_pass2_execute_micros_total");
+    const uint64_t reattaches =
+        SeriesValue(metrics.value(), "orochi_service_shard_reattaches_total");
+    if (spooled == 0 || pass2_micros == 0) {
+      return Fail("/metrics shows no ingest or audit activity (records_spooled=" +
+                  std::to_string(spooled) + ", pass2_micros=" +
+                  std::to_string(pass2_micros) + ")");
+    }
+    if (reattaches == 0) {
+      return Fail("/metrics never counted the scripted kill's reattach");
+    }
+    Result<std::string> epochs = HttpGet(service.stats_address(), "/epochs");
+    if (!epochs.ok()) {
+      return Fail("scraping /epochs: " + epochs.error());
+    }
+    if (epochs.value().find("\"state\": \"accepted\"") == std::string::npos) {
+      return Fail("/epochs lists no accepted epoch: " + epochs.value());
+    }
+    Result<std::string> shards = HttpGet(service.stats_address(), "/shards");
+    if (!shards.ok()) {
+      return Fail("scraping /shards: " + shards.error());
+    }
+    if (shards.value().find("\"sealed\": true") == std::string::npos) {
+      return Fail("/shards lists no sealed shard: " + shards.value());
+    }
+    std::printf("stats scrape (%s): %llu records spooled, %llu reattaches, pass-2 "
+                "executed for %llu us; /epochs + /shards agree\n",
+                service.stats_address().c_str(),
+                static_cast<unsigned long long>(spooled),
+                static_cast<unsigned long long>(reattaches),
+                static_cast<unsigned long long>(pass2_micros));
+  }
 
   ServiceStats stats = service.stats();
   service.Stop();

@@ -10,10 +10,41 @@
 #include <thread>
 
 #include "src/common/hash.h"
+#include "src/obs/metrics.h"
 
 namespace orochi {
 
 namespace {
+
+// File-layer instruments (see README "Observability"). Function-local statics keep the
+// registry lookup off the hot path.
+obs::Counter* IoFsyncs() {
+  static obs::Counter* const c = obs::MetricsRegistry::Default()->GetCounter(
+      "orochi_io_fsyncs_total", "fsync calls issued by writers (spills, checkpoints)");
+  return c;
+}
+obs::Counter* IoWriteBytes() {
+  static obs::Counter* const c = obs::MetricsRegistry::Default()->GetCounter(
+      "orochi_io_write_bytes_total", "bytes written through the Env file layer");
+  return c;
+}
+obs::Counter* IoReadBytes() {
+  static obs::Counter* const c = obs::MetricsRegistry::Default()->GetCounter(
+      "orochi_io_read_bytes_total", "bytes read through ReadUpToAt/ReadFullAt");
+  return c;
+}
+obs::Counter* IoReadRetries() {
+  static obs::Counter* const c = obs::MetricsRegistry::Default()->GetCounter(
+      "orochi_io_read_transient_retries_total",
+      "transient read errors absorbed by the bounded-backoff retry loop");
+  return c;
+}
+obs::Counter* IoReadsRecovered() {
+  static obs::Counter* const c = obs::MetricsRegistry::Default()->GetCounter(
+      "orochi_io_reads_recovered_total",
+      "reads that completed only after one or more transient-error retries");
+  return c;
+}
 
 constexpr char kTransientPrefix[] = "io-transient: ";
 
@@ -88,6 +119,7 @@ class PosixWritableFile : public WritableFile {
     if (::fsync(fd_) != 0) {
       return Status::Error(ErrnoDetail("fsync failed for", path_));
     }
+    IoFsyncs()->Inc();
     return Status::Ok();
   }
 
@@ -131,6 +163,7 @@ class PosixWritableFile : public WritableFile {
       }
       done += static_cast<size_t>(wrote);
     }
+    IoWriteBytes()->Inc(n);
     return Status::Ok();
   }
 
@@ -210,6 +243,7 @@ Result<size_t> ReadUpToAt(ReadableFile* file, const std::string& path, uint64_t 
     Result<size_t> got = file->PReadSome(offset + done, n - done, buf + done);
     if (!got.ok()) {
       if (IsTransientIoError(got.error()) && ++attempts < kMaxIoAttempts) {
+        IoReadRetries()->Inc();
         std::this_thread::sleep_for(
             std::chrono::microseconds(kBackoffBaseMicros << attempts));
         continue;
@@ -222,6 +256,10 @@ Result<size_t> ReadUpToAt(ReadableFile* file, const std::string& path, uint64_t 
     done += got.value();
   }
   (void)path;
+  if (attempts > 0) {
+    IoReadsRecovered()->Inc();
+  }
+  IoReadBytes()->Inc(done);
   return done;
 }
 

@@ -25,6 +25,7 @@
 #include "src/common/io_env.h"
 #include "src/common/result.h"
 #include "src/core/process_reports.h"
+#include "src/obs/trace.h"
 #include "src/lang/step_result.h"
 #include "src/objects/reports.h"
 #include "src/objects/stores.h"
@@ -54,6 +55,10 @@ struct AuditOptions {
   // sidecar file and, on a later run over the same epoch, resumes without re-executing
   // them. Removed once a verdict (accept or reject) is reached.
   std::string checkpoint_path;
+  // Phase tracer the audit's TraceSpans record into. nullptr = the process-wide
+  // obs::PhaseTracer::Default(); concurrent sessions that want isolated per-epoch
+  // attribution install private tracers here. Not owned.
+  obs::PhaseTracer* tracer = nullptr;
   InterpreterOptions interp;
 };
 

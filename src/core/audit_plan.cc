@@ -119,6 +119,7 @@ AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
         if (const AuditTaskRecord* rec = journal->Lookup(task.order); rec != nullptr) {
           // Replay the journaled contribution: no gate (nothing is paged in), no
           // re-execution — the recorded stats and outputs stand in for both.
+          obs::TraceSpan span(options.tracer, obs::Phase::kCheckpointReplay);
           task_stats[i] = rec->stats;
           task_stats[i].checkpoint_chunks_reused += 1;
           for (const auto& [rid, body] : rec->outputs) {
@@ -136,7 +137,11 @@ AuditExecOutcome ExecuteAuditPlan(AuditContext* ctx, const Application* app,
         }
       }
       AuditWorkerState ws(&task_stats[i]);
-      Status run = RunGroupChunk(app, options.interp, ctx, task.prog, task.rids, &ws);
+      Status run;
+      {
+        obs::TraceSpan span(options.tracer, obs::Phase::kPass2Execute);
+        run = RunGroupChunk(app, options.interp, ctx, task.prog, task.rids, &ws);
+      }
       if (!run.ok()) {
         task_error[i] = run.error();
         record_failure(task.order);

@@ -1,0 +1,252 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace orochi {
+namespace obs {
+
+namespace internal {
+
+size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t index = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return index;
+}
+
+}  // namespace internal
+
+namespace {
+
+// Formats a double the way the expositions want it: integral values without a trailing
+// ".000000", fractional ones with enough digits to round-trip typical micro-resolution
+// sums deterministically.
+std::string FormatDouble(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string FormatU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string FormatI64(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  shards_.reserve(internal::kShards);
+  for (size_t i = 0; i < internal::kShards; i++) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::Observe(double value) {
+  // upper_bound: first bound strictly greater than value would be lower_bound semantics
+  // for le-style buckets; Prometheus buckets are "less than or equal", so the bucket is
+  // the first bound >= value.
+  size_t bucket = std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  Shard& shard = *shards_[internal::ShardIndex()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  const double micros = value * 1e6;
+  uint64_t add = 0;
+  if (micros > 0) {
+    add = micros >= 1.8e19 ? UINT64_MAX : static_cast<uint64_t>(std::llround(micros));
+  }
+  shard.sum_micros.fetch_add(add, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  uint64_t sum_micros = 0;
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < snap.buckets.size(); b++) {
+      snap.buckets[b] += shard->counts[b].load(std::memory_order_acquire);
+    }
+    snap.count += shard->count.load(std::memory_order_acquire);
+    sum_micros += shard->sum_micros.load(std::memory_order_acquire);
+  }
+  snap.sum = static_cast<double>(sum_micros) * 1e-6;
+  return snap;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = Kind::kCounter;
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(name, std::move(e)).first;
+  }
+  if (it->second.kind != Kind::kCounter) {
+    static Counter* dummy = new Counter();  // Type misuse: absorb updates, expose nothing.
+    return dummy;
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = Kind::kGauge;
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(name, std::move(e)).first;
+  }
+  if (it->second.kind != Kind::kGauge) {
+    static Gauge* dummy = new Gauge();
+    return dummy;
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = Kind::kHistogram;
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = metrics_.emplace(name, std::move(e)).first;
+  }
+  if (it->second.kind != Kind::kHistogram) {
+    static Histogram* dummy = new Histogram(std::vector<double>{1});
+    return dummy;
+  }
+  return it->second.histogram.get();
+}
+
+std::string MetricsRegistry::TextExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, entry] : metrics_) {
+    out += "# HELP " + name + " " + entry.help + "\n";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + FormatU64(entry.counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + FormatI64(entry.gauge->Value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        Histogram::Snapshot snap = entry.histogram->TakeSnapshot();
+        uint64_t cumulative = 0;
+        for (size_t b = 0; b < snap.bounds.size(); b++) {
+          cumulative += snap.buckets[b];
+          out += name + "_bucket{le=\"" + FormatDouble(snap.bounds[b]) + "\"} " +
+                 FormatU64(cumulative) + "\n";
+        }
+        cumulative += snap.buckets.back();
+        out += name + "_bucket{le=\"+Inf\"} " + FormatU64(cumulative) + "\n";
+        out += name + "_sum " + FormatDouble(snap.sum) + "\n";
+        out += name + "_count " + FormatU64(snap.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonExposition() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, entry] : metrics_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ", ";
+        counters += "\"" + JsonEscape(name) + "\": " + FormatU64(entry.counter->Value());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ", ";
+        gauges += "\"" + JsonEscape(name) + "\": " + FormatI64(entry.gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        Histogram::Snapshot snap = entry.histogram->TakeSnapshot();
+        if (!histograms.empty()) histograms += ", ";
+        histograms += "\"" + JsonEscape(name) + "\": {\"bounds\": [";
+        for (size_t b = 0; b < snap.bounds.size(); b++) {
+          if (b > 0) histograms += ", ";
+          histograms += FormatDouble(snap.bounds[b]);
+        }
+        histograms += "], \"buckets\": [";
+        for (size_t b = 0; b < snap.buckets.size(); b++) {
+          if (b > 0) histograms += ", ";
+          histograms += FormatU64(snap.buckets[b]);
+        }
+        histograms += "], \"count\": " + FormatU64(snap.count) +
+                      ", \"sum\": " + FormatDouble(snap.sum) + "}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace orochi

@@ -1,0 +1,75 @@
+// Minimal HTTP/1.0 stats endpoint served over the repo's Transport abstraction, so it
+// speaks both "tcp:HOST:PORT" and "unix:/path" addresses and tests can drive it through
+// a FaultInjectingTransport. orochi-auditd mounts /metrics (Prometheus text), /metrics.json,
+// /epochs, and /shards on it when OROCHI_STATS_ADDRESS is set.
+//
+// Scope is deliberately tiny: GET only, one response per connection, no keep-alive, no
+// request bodies. Handlers are registered before Start and render their payload at
+// request time. Malformed requests get 400, unknown paths 404, non-GET methods 405 —
+// never a crash, never a hung scraper.
+#ifndef SRC_OBS_STATS_SERVER_H_
+#define SRC_OBS_STATS_SERVER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/result.h"
+#include "src/net/transport.h"
+
+namespace orochi {
+namespace obs {
+
+class StatsServer {
+ public:
+  // Renders the response body for one request. Called from the server thread; must be
+  // safe to invoke concurrently with the instrumented process (registry snapshots are).
+  using Handler = std::function<std::string()>;
+
+  StatsServer() = default;
+  ~StatsServer() { Stop(); }
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  // Registers `handler` for GET `path` (exact match; query strings are stripped).
+  // Must be called before Start.
+  void Handle(std::string path, std::string content_type, Handler handler);
+
+  // Binds `address` ("tcp:HOST:PORT" or "unix:/path"; nullptr transport = the default
+  // POSIX transport) and starts the serving thread. The bound address — with tcp port 0
+  // resolved — is available from address() afterwards.
+  Status Start(const std::string& address, Transport* transport = nullptr);
+
+  // Stops accepting, unblocks any in-flight request, and joins the serving thread.
+  // Idempotent; also run by the destructor.
+  void Stop();
+
+  const std::string& address() const { return address_; }
+
+ private:
+  struct Route {
+    std::string content_type;
+    Handler handler;
+  };
+
+  void Serve();
+  void HandleConnection(Connection* conn);
+
+  std::map<std::string, Route> routes_;
+  std::unique_ptr<Listener> listener_;
+  std::string address_;
+  std::thread thread_;
+  bool started_ = false;
+
+  std::mutex mu_;  // Guards active_ (the connection Stop may need to unblock).
+  Connection* active_ = nullptr;
+  bool stopping_ = false;
+};
+
+}  // namespace obs
+}  // namespace orochi
+
+#endif  // SRC_OBS_STATS_SERVER_H_

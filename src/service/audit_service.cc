@@ -7,10 +7,62 @@
 #include "src/common/strings.h"
 #include "src/objects/wire_format.h"
 #include "src/objects/wire_primitives.h"
+#include "src/obs/metrics.h"
 
 namespace orochi {
 
 namespace {
+
+// Ingest-side instruments, mirroring every ServiceStats bump into the process registry so
+// the /metrics exposition and the mutex-guarded stats() snapshot can never disagree about
+// what happened (they may transiently disagree about when).
+struct ServiceMetrics {
+  obs::Counter* connections;
+  obs::Counter* frames;
+  obs::Counter* records_spooled;
+  obs::Counter* records_deduped;
+  obs::Counter* bytes_spooled;
+  obs::Counter* corrupt_frames;
+  obs::Counter* shard_reattaches;
+  obs::Counter* shards_sealed;
+  obs::Counter* shards_quarantined;
+  obs::Counter* epochs_audited;
+  obs::Counter* epochs_accepted;
+
+  static ServiceMetrics* Get() {
+    static ServiceMetrics* const m = [] {
+      auto* r = obs::MetricsRegistry::Default();
+      auto* out = new ServiceMetrics();
+      out->connections = r->GetCounter("orochi_service_connections_total",
+                                       "collector connections accepted");
+      out->frames = r->GetCounter("orochi_service_frames_total",
+                                  "protocol frames read from attached shard streams");
+      out->records_spooled = r->GetCounter("orochi_service_records_spooled_total",
+                                           "records appended to epoch spool files");
+      out->records_deduped = r->GetCounter(
+          "orochi_service_records_deduped_total",
+          "resume-overlap records skipped exactly (already spooled before a reconnect)");
+      out->bytes_spooled = r->GetCounter("orochi_service_bytes_spooled_total",
+                                         "bytes appended to epoch spool files");
+      out->corrupt_frames = r->GetCounter("orochi_service_corrupt_frames_total",
+                                          "frames that failed their CRC (never spooled)");
+      out->shard_reattaches = r->GetCounter(
+          "orochi_service_shard_reattaches_total",
+          "shard streams re-attached by a reconnecting collector (attach count - 1)");
+      out->shards_sealed =
+          r->GetCounter("orochi_service_shards_sealed_total", "shard spool pairs sealed");
+      out->shards_quarantined = r->GetCounter(
+          "orochi_service_shards_quarantined_total",
+          "shards quarantined for end-epoch totals disagreeing with the spool");
+      out->epochs_audited = r->GetCounter("orochi_service_epochs_audited_total",
+                                          "epochs the continuous audit reached a verdict for");
+      out->epochs_accepted =
+          r->GetCounter("orochi_service_epochs_accepted_total", "epochs accepted");
+      return out;
+    }();
+    return m;
+  }
+};
 
 // One env knob: overrides *out when set, hard "config: ..." error when malformed.
 Status ApplyUint64Knob(const char* name, const char* what, uint64_t* out) {
@@ -44,6 +96,12 @@ Result<ServiceOptions> ResolveServiceOptions(ServiceOptions base) {
           "config: OROCHI_LISTEN_ADDRESS is set but empty");
     }
     base.listen_address = env;
+  }
+  if (const char* env = std::getenv("OROCHI_STATS_ADDRESS")) {
+    // Unlike the listen address, empty here is a deliberate "off" — the knob doubles as
+    // the enable switch — but a set-and-garbage value must still fail loudly, which the
+    // stats Listen() does at Start().
+    base.stats_address = env;
   }
   if (Status st = ApplyUint64Knob("OROCHI_MAX_INFLIGHT_BYTES", "byte bound",
                                   &base.max_in_flight_bytes);
@@ -82,16 +140,20 @@ struct AuditService::ShardStream {
   bool sealed = false;
   bool quarantined = false;
   std::string quarantine_reason;
+  uint64_t attaches = 0;  // Guarded by mu_; attaches - 1 = reconnects of this stream.
 
   bool opened = false;
   std::string trace_path;
   std::string reports_path;
   AtomicFileWriter trace_atomic;
   AtomicFileWriter reports_atomic;
-  uint64_t trace_received = 0;    // Records spooled — the client's resume point.
-  uint64_t reports_received = 0;
-  uint64_t trace_bytes = 0;       // Bytes written so far (header included), for the footer.
-  uint64_t reports_bytes = 0;
+  // Counts are written by the one attached handler but read by the /shards endpoint at
+  // any time, hence atomics (plain loads/stores; attachment already orders the writes).
+  std::atomic<uint64_t> trace_received{0};    // Records spooled — the client's resume point.
+  std::atomic<uint64_t> reports_received{0};
+  std::atomic<uint64_t> trace_bytes{0};   // Bytes written so far (header included), for the footer.
+  std::atomic<uint64_t> reports_bytes{0};
+  std::atomic<uint64_t> unacked_bytes{0};  // In-flight bytes since the last ack sent.
 };
 
 struct AuditService::EpochState {
@@ -118,6 +180,26 @@ Status AuditService::Start() {
   }
   listener_ = std::move(listener.value());
   address_ = listener_->address();
+  if (!options_.stats_address.empty()) {
+    stats_server_ = std::make_unique<obs::StatsServer>();
+    stats_server_->Handle("/metrics", "text/plain; version=0.0.4", [] {
+      return obs::MetricsRegistry::Default()->TextExposition();
+    });
+    stats_server_->Handle("/metrics.json", "application/json", [] {
+      return obs::MetricsRegistry::Default()->JsonExposition();
+    });
+    stats_server_->Handle("/epochs", "application/json", [this] { return EpochsJson(); });
+    stats_server_->Handle("/shards", "application/json", [this] { return ShardsJson(); });
+    // The stats endpoint always rides the production transport: the main listener may sit
+    // behind a FaultInjectingTransport in tests, and a scraper must not eat its faults.
+    if (Status st = stats_server_->Start(options_.stats_address); !st.ok()) {
+      stats_server_.reset();
+      listener_->Close();
+      listener_.reset();
+      return st;
+    }
+    stats_address_ = stats_server_->address();
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
@@ -149,6 +231,10 @@ void AuditService::Stop() {
     cv_.wait(lock, [this] { return live_connections_.empty(); });
   }
   audit_thread_.join();
+  if (stats_server_ != nullptr) {
+    // Last so an operator can scrape the final counters right up to the join above.
+    stats_server_->Stop();
+  }
 }
 
 ServiceStats AuditService::stats() const {
@@ -170,6 +256,7 @@ void AuditService::AcceptLoop() {
       continue;
     }
     stats_.connections_accepted++;
+    ServiceMetrics::Get()->connections->Inc();
     Connection* raw = conn.value().get();
     live_connections_.insert(raw);
     lock.unlock();
@@ -194,6 +281,8 @@ Status AuditService::SpoolRecord(ShardStream* stream, bool is_trace,
     stream->reports_received++;
     stream->reports_bytes += frame.size();
   }
+  ServiceMetrics::Get()->records_spooled->Inc();
+  ServiceMetrics::Get()->bytes_spooled->Inc(frame.size());
   std::lock_guard<std::mutex> lock(mu_);
   stats_.records_spooled++;
   stats_.bytes_spooled += frame.size();
@@ -213,6 +302,7 @@ Status AuditService::SealShard(EpochState* epoch, ShardStream* stream,
         std::to_string(end.trace_records) + "/" + std::to_string(end.reports_records) +
         " do not match spooled " + std::to_string(stream->trace_received) + "/" +
         std::to_string(stream->reports_received);
+    ServiceMetrics::Get()->shards_quarantined->Inc();
     std::lock_guard<std::mutex> lock(mu_);
     stream->quarantined = true;
     stream->quarantine_reason = reason;
@@ -238,6 +328,7 @@ Status AuditService::SealShard(EpochState* epoch, ShardStream* stream,
   if (Status st = stream->reports_atomic.Commit(); !st.ok()) {
     return st;
   }
+  ServiceMetrics::Get()->shards_sealed->Inc();
   std::lock_guard<std::mutex> lock(mu_);
   stream->sealed = true;
   stats_.shards_sealed++;
@@ -300,6 +391,7 @@ Status AuditService::ServeStream(Connection* conn, net::FrameReader* reader,
   auto send_ack = [&]() {
     since_ack = 0;
     bytes_since_ack = 0;
+    stream->unacked_bytes.store(0, std::memory_order_relaxed);
     net::AckFrame a;
     a.trace_received = stream->trace_received;
     a.reports_received = stream->reports_received;
@@ -320,6 +412,7 @@ Status AuditService::ServeStream(Connection* conn, net::FrameReader* reader,
       if (!IsTransientIoError(next.error())) {
         // A frame that failed its CRC: tell the client, drop the connection, keep the
         // received counts — the record was never spooled and the resume re-sends it.
+        ServiceMetrics::Get()->corrupt_frames->Inc();
         {
           std::lock_guard<std::mutex> lock(mu_);
           stats_.corrupt_frames++;
@@ -331,6 +424,7 @@ Status AuditService::ServeStream(Connection* conn, net::FrameReader* reader,
     if (!next.value()) {
       return Status::Ok();  // Clean close at a frame boundary.
     }
+    ServiceMetrics::Get()->frames->Inc();
     switch (type) {
       case net::kFrameTraceRecord:
       case net::kFrameReportsRecord: {
@@ -360,6 +454,7 @@ Status AuditService::ServeStream(Connection* conn, net::FrameReader* reader,
         }
         if (rec.value().index < expected) {
           // Resume overlap from a reconnected client: already spooled, skip exactly.
+          ServiceMetrics::Get()->records_deduped->Inc();
           std::lock_guard<std::mutex> lock(mu_);
           stats_.records_deduped++;
         } else if (Status st = SpoolRecord(stream, is_trace, rec.value()); !st.ok()) {
@@ -368,6 +463,7 @@ Status AuditService::ServeStream(Connection* conn, net::FrameReader* reader,
         }
         since_ack++;
         bytes_since_ack += wire::kRecordFrameBytesV2 + payload.size();
+        stream->unacked_bytes.store(bytes_since_ack, std::memory_order_relaxed);
         // Acks pace the client's flow control, so they must fire on bytes too: a few
         // huge records can hit the in-flight byte bound long before the record interval.
         bool byte_due = options_.max_in_flight_bytes > 0 &&
@@ -509,6 +605,10 @@ void AuditService::HandleConnection(std::unique_ptr<Connection> conn) {
       return;
     }
     stream->attached = true;
+    stream->attaches++;
+    if (stream->attaches > 1) {
+      ServiceMetrics::Get()->shard_reattaches->Inc();
+    }
   }
 
   (void)ServeStream(conn.get(), &reader, &writer, hello.value(), epoch, stream);
@@ -548,6 +648,10 @@ void AuditService::AuditLoop() {
     }
     // The audit runs outside the lock: ingestion of later epochs proceeds concurrently.
     Result<AuditResult> verdict = session_->FeedShardedEpoch(files);
+    ServiceMetrics::Get()->epochs_audited->Inc();
+    if (verdict.ok() && verdict.value().accepted) {
+      ServiceMetrics::Get()->epochs_accepted->Inc();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       stats_.epochs_audited++;
@@ -558,6 +662,87 @@ void AuditService::AuditLoop() {
     }
     cv_.notify_all();
   }
+}
+
+std::string AuditService::EpochsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"epochs\": [";
+  bool first = true;
+  for (const auto& [epoch_id, epoch] : epochs_) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += "{\"epoch\": " + std::to_string(epoch_id);
+    out += ", \"shards_sealed\": " + std::to_string(epoch->sealed_count);
+    out += ", \"shards_expected\": " + std::to_string(options_.shards_per_epoch);
+    std::string state = epoch->enqueued ? "auditing" : "ingesting";
+    for (const auto& [shard_id, stream] : epoch->shards) {
+      if (stream->quarantined) {
+        state = "quarantined";
+      }
+    }
+    auto vit = verdicts_.find(epoch_id);
+    if (vit != verdicts_.end()) {
+      if (!vit->second.ok()) {
+        state = "error";
+        out += ", \"error\": \"" + obs::JsonEscape(vit->second.error()) + "\"";
+      } else {
+        const AuditResult& v = vit->second.value();
+        state = v.accepted ? "accepted" : "rejected";
+        if (!v.accepted) {
+          out += ", \"reason\": \"" + obs::JsonEscape(v.reason) + "\"";
+        }
+        out += ", \"phases\": " + v.phases.Json();
+        out += ", \"audit\": {\"num_groups\": " + std::to_string(v.stats.num_groups) +
+               ", \"ops_checked\": " + std::to_string(v.stats.ops_checked) +
+               ", \"db_selects_issued\": " + std::to_string(v.stats.db_selects_issued) +
+               ", \"db_selects_deduped\": " + std::to_string(v.stats.db_selects_deduped) +
+               ", \"checkpoint_chunks_reused\": " +
+               std::to_string(v.stats.checkpoint_chunks_reused) + "}";
+      }
+    }
+    out += ", \"state\": \"" + state + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string AuditService::ShardsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"shards\": [";
+  bool first = true;
+  for (const auto& [epoch_id, epoch] : epochs_) {
+    for (const auto& [shard_id, stream] : epoch->shards) {
+      if (!first) {
+        out += ", ";
+      }
+      first = false;
+      out += "{\"epoch\": " + std::to_string(epoch_id);
+      out += ", \"shard\": " + std::to_string(shard_id);
+      out += std::string(", \"attached\": ") + (stream->attached ? "true" : "false");
+      out += std::string(", \"sealed\": ") + (stream->sealed ? "true" : "false");
+      out += ", \"attaches\": " + std::to_string(stream->attaches);
+      out += ", \"trace_records\": " +
+             std::to_string(stream->trace_received.load(std::memory_order_relaxed));
+      out += ", \"reports_records\": " +
+             std::to_string(stream->reports_received.load(std::memory_order_relaxed));
+      out += ", \"trace_bytes\": " +
+             std::to_string(stream->trace_bytes.load(std::memory_order_relaxed));
+      out += ", \"reports_bytes\": " +
+             std::to_string(stream->reports_bytes.load(std::memory_order_relaxed));
+      out += ", \"unacked_bytes\": " +
+             std::to_string(stream->unacked_bytes.load(std::memory_order_relaxed));
+      out += std::string(", \"quarantined\": ") + (stream->quarantined ? "true" : "false");
+      if (stream->quarantined) {
+        out += ", \"quarantine_reason\": \"" + obs::JsonEscape(stream->quarantine_reason) +
+               "\"";
+      }
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
 }
 
 Result<AuditResult> AuditService::WaitEpochVerdict(uint64_t epoch) {

@@ -34,6 +34,7 @@
 #include "src/core/audit_session.h"
 #include "src/net/frame.h"
 #include "src/net/transport.h"
+#include "src/obs/stats_server.h"
 
 namespace orochi {
 
@@ -57,6 +58,11 @@ struct ServiceOptions {
   // .reports. Sealed atomically (temp + fsync + rename), so anything visible under these
   // names is a complete, auditable spill file.
   std::string spool_dir;
+  // Observability endpoint (OROCHI_STATS_ADDRESS): when nonempty, Start() also binds an
+  // obs::StatsServer here serving /metrics (Prometheus text), /metrics.json, /epochs
+  // (per-epoch verdict + phase decomposition + checkpoint reuse), and /shards (per-shard
+  // connection state, spooled counts, unacked bytes, quarantine reason). Empty = off.
+  std::string stats_address;
   Env* env = nullptr;              // Spool I/O; nullptr = Env::Default().
   Transport* transport = nullptr;  // Listener; nullptr = Transport::Default().
 };
@@ -98,6 +104,8 @@ class AuditService {
 
   // The address actually bound (resolves "tcp:...:0" to the real ephemeral port).
   const std::string& address() const { return address_; }
+  // The stats endpoint actually bound; empty when ServiceOptions::stats_address was unset.
+  const std::string& stats_address() const { return stats_address_; }
 
   // Blocks until `epoch` has a verdict (all its shards sealed and the continuous audit
   // reached it), a shard of it was quarantined (an error Result naming the shard), or the
@@ -123,10 +131,16 @@ class AuditService {
   // sealed and, when the epoch is complete, hands it to the audit thread.
   Status SealShard(EpochState* epoch, ShardStream* stream, const net::EndEpochFrame& end);
 
+  // Renders the /epochs and /shards endpoint bodies from the service state under mu_.
+  std::string EpochsJson() const;
+  std::string ShardsJson() const;
+
   const Application* app_;
   AuditOptions audit_options_;
   ServiceOptions options_;
   std::string address_;
+  std::string stats_address_;
+  std::unique_ptr<obs::StatsServer> stats_server_;
 
   std::unique_ptr<Listener> listener_;
   std::thread accept_thread_;

@@ -14,10 +14,12 @@
 //                            run until killed); smoke tests set a small limit
 //   OROCHI_AUDIT_THREADS / OROCHI_AUDIT_BUDGET  as everywhere else
 //
-// Output: one "listening on <address>" line, then one line per epoch verdict:
+// Output: one "listening on <address>" line (plus "stats on <address>" when the stats
+// endpoint is up), then one line per epoch verdict:
 //   epoch <E>: ACCEPTED | epoch <E>: REJECTED (<reason>) | epoch <E>: ERROR (<error>)
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "src/common/strings.h"
@@ -28,6 +30,44 @@ namespace {
 
 using namespace orochi;
 
+constexpr char kVersion[] = "orochi-auditd 0.8.0";
+
+constexpr char kHelp[] =
+    R"(orochi-auditd: continuous verifier daemon for the efficient server audit.
+
+Collector shards connect over the framed protocol, their epochs spool into
+wire-format spill files, and each epoch is audited as it seals — verdicts are
+bit-identical to an offline audit of the same traffic.
+
+usage: orochi-auditd [--help] [--version]
+
+All configuration is environment-driven; malformed values are hard errors,
+never silent fallbacks:
+
+  OROCHI_APP                 counter | wiki | forum | conf (default counter):
+                             which application's audit logic to run.
+  OROCHI_SPOOL_DIR           directory for per-epoch spill files (default ".").
+  OROCHI_LISTEN_ADDRESS      tcp:HOST:PORT or unix:/path (default
+                             tcp:127.0.0.1:0); the bound address is printed.
+  OROCHI_STATS_ADDRESS       observability endpoint (same address syntax;
+                             default unset = off). Serves GET /metrics
+                             (Prometheus text), /metrics.json, /epochs
+                             (per-epoch verdict + phase decomposition), and
+                             /shards (per-shard stream state).
+  OROCHI_SHARDS_PER_EPOCH    collector shards per epoch (default 1).
+  OROCHI_MAX_INFLIGHT_BYTES  backpressure: max unacked bytes a client keeps in
+                             flight (default 4194304; 0 = unbounded).
+  OROCHI_ACK_INTERVAL        ack every N records (default 256; must be > 0).
+  OROCHI_EPOCH_LIMIT         exit after this many epochs have verdicts
+                             (default 0 = run until killed).
+  OROCHI_AUDIT_THREADS       re-execution worker threads (default: hardware
+                             concurrency).
+  OROCHI_AUDIT_BUDGET        resident-byte budget for the streamed audit
+                             (default 0 = unlimited).
+  OROCHI_TRACE_FILE          dump a Chrome-trace JSON of audit phase spans
+                             here on exit (view in chrome://tracing).
+)";
+
 int Fail(const std::string& message) {
   std::fprintf(stderr, "orochi-auditd: %s\n", message.c_str());
   return 1;
@@ -35,7 +75,21 @@ int Fail(const std::string& message) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::fputs(kHelp, stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::printf("%s\n", kVersion);
+      return 0;
+    }
+    // Refuse anything else: a daemon silently ignoring a misspelled flag (say,
+    // --spool-dir where the env var was meant) is how misconfigurations go unnoticed.
+    std::fprintf(stderr, "orochi-auditd: unknown argument '%s' (try --help)\n", argv[i]);
+    return 1;
+  }
   std::string app_name = "counter";
   if (const char* env = std::getenv("OROCHI_APP")) {
     app_name = env;
@@ -79,6 +133,9 @@ int main() {
     return Fail(st.error());
   }
   std::printf("listening on %s\n", service.address().c_str());
+  if (!service.stats_address().empty()) {
+    std::printf("stats on %s\n", service.stats_address().c_str());
+  }
   std::fflush(stdout);
 
   // Epochs are numbered from 1 by convention; wait for each in turn. With no limit this

@@ -4,12 +4,58 @@
 #include <string>
 #include <utility>
 
+#include <chrono>
+
 #include "src/common/crc32c.h"
 #include "src/common/strings.h"
 #include "src/objects/wire_format.h"
+#include "src/obs/metrics.h"
 #include "src/stream/reports_index.h"
 
 namespace orochi {
+
+namespace {
+
+// Budget-gate instruments: every chunk admission in the streamed audit funnels through
+// ChunkBudget::Acquire, so this is where stalls and oversized one-at-a-time admissions
+// become visible.
+struct BudgetMetrics {
+  obs::Counter* acquires;
+  obs::Counter* waits;
+  obs::Counter* oversized;
+  obs::Histogram* wait_seconds;
+  obs::Gauge* used_bytes;
+  obs::Gauge* peak_bytes;
+  obs::Gauge* largest_acquire;
+
+  static BudgetMetrics* Get() {
+    static BudgetMetrics* const m = [] {
+      auto* registry = obs::MetricsRegistry::Default();
+      auto* out = new BudgetMetrics();
+      out->acquires = registry->GetCounter("orochi_budget_acquires_total",
+                                           "chunk admissions through the audit budget");
+      out->waits = registry->GetCounter(
+          "orochi_budget_waits_total",
+          "chunk admissions that had to wait for resident bytes to drain");
+      out->oversized = registry->GetCounter(
+          "orochi_budget_oversized_admissions_total",
+          "chunks larger than the whole budget, admitted one-at-a-time");
+      out->wait_seconds = registry->GetHistogram(
+          "orochi_budget_wait_seconds", "time spent blocked waiting for budget headroom",
+          {0.0001, 0.001, 0.01, 0.1, 1, 10});
+      out->used_bytes = registry->GetGauge("orochi_budget_used_bytes",
+                                           "resident chunk bytes currently admitted");
+      out->peak_bytes = registry->GetGauge("orochi_budget_peak_bytes",
+                                           "high-water mark of resident chunk bytes");
+      out->largest_acquire = registry->GetGauge(
+          "orochi_budget_largest_acquire_bytes", "largest single chunk admission seen");
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 Result<uint64_t> ResolveAuditBudget(const AuditOptions& options) {
   if (options.max_resident_bytes > 0) {
@@ -28,8 +74,21 @@ Result<uint64_t> ResolveAuditBudget(const AuditOptions& options) {
 }
 
 void ChunkBudget::Acquire(uint64_t bytes) {
+  BudgetMetrics* metrics = BudgetMetrics::Get();
+  metrics->acquires->Inc();
+  if (max_ != 0 && bytes > max_) {
+    metrics->oversized->Inc();  // Admitted solo via the used_ == 0 arm below.
+  }
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return used_ == 0 || max_ == 0 || used_ + bytes <= max_; });
+  const auto admitted = [&] { return used_ == 0 || max_ == 0 || used_ + bytes <= max_; };
+  if (!admitted()) {
+    metrics->waits->Inc();
+    const auto wait_start = std::chrono::steady_clock::now();
+    cv_.wait(lock, admitted);
+    metrics->wait_seconds->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_start)
+            .count());
+  }
   used_ += bytes;
   if (used_ > peak_) {
     peak_ = used_;
@@ -37,12 +96,16 @@ void ChunkBudget::Acquire(uint64_t bytes) {
   if (bytes > largest_acquire_) {
     largest_acquire_ = bytes;
   }
+  metrics->used_bytes->Set(static_cast<int64_t>(used_));
+  metrics->peak_bytes->SetMax(static_cast<int64_t>(peak_));
+  metrics->largest_acquire->SetMax(static_cast<int64_t>(largest_acquire_));
 }
 
 void ChunkBudget::Release(uint64_t bytes) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     used_ -= bytes;
+    BudgetMetrics::Get()->used_bytes->Set(static_cast<int64_t>(used_));
   }
   cv_.notify_all();
 }

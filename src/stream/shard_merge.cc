@@ -6,6 +6,7 @@
 
 #include "src/common/work_steal_pool.h"
 #include "src/objects/wire_format.h"
+#include "src/obs/trace.h"
 
 namespace orochi {
 
@@ -101,6 +102,9 @@ Result<MergedShards> MergeShards(const std::vector<ShardEpochFiles>& shards,
     }
     WorkStealPool pool(num_threads < 1 ? 1 : num_threads);
     pool.Run(tasks, [&](size_t i) {
+      // One pass-1 span per shard build: these overlap on the pool, so the phase's span
+      // count is the shard count and its seconds are cumulative worker time.
+      obs::TraceSpan span(nullptr, obs::Phase::kPass1Skeleton);
       const ShardEpochFiles& shard = shards[order[i].pos];
       ShardLoad& load = loads[i];
       Result<uint32_t> appended = load.traces.AppendFile(shard.trace_path, env);

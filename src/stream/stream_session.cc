@@ -249,9 +249,12 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
   }
   epochs_fed_++;
   AuditResult out;
+  obs::PhaseTracer* tracer = obs::ResolveTracer(options_.tracer);
+  const obs::PhaseBreakdown phase_mark = tracer->totals();
   AuditContext ctx(&merged.traces.skeleton(), &merged.reports.skeleton(), app_, &state_,
                    options_);
   auto reject = [&](std::string reason) {
+    out.phases = tracer->totals().DiffSince(phase_mark);
     out.reason = std::move(reason);
     out.stats = ctx.stats();
     return R(out);
@@ -272,7 +275,12 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
   // budget-bounded segment scans instead of resident logs.
   SegmentedOpLogScanner scanner(&merged.reports, reports_loader, budget);
   ctx.set_oplog_scanner(&scanner);
-  if (Status st = ctx.Prepare(); !st.ok()) {
+  Status prepared;
+  {
+    obs::TraceSpan span(tracer, obs::Phase::kPrepare);
+    prepared = ctx.Prepare();
+  }
+  if (Status st = prepared; !st.ok()) {
     if (scanner.io_failed()) {
       // Paging a log segment in failed (spill file vanished or changed mid-audit): a
       // file-level error, not a verdict — the epoch is unconsumed.
@@ -326,6 +334,7 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
   std::string compare_reason;
   {
     ScopedAccumulator t(&ctx.stats().other_seconds);
+    obs::TraceSpan span(tracer, obs::Phase::kPass3Compare);
     if (Status st = StreamedCompareOutputs(ctx, &merged.traces, loader, budget,
                                            &compare_reason);
         !st.ok()) {
@@ -338,6 +347,7 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
     return reject(std::move(compare_reason));
   }
   spend_checkpoint();
+  out.phases = tracer->totals().DiffSince(phase_mark);
   CommitAccepted(&ctx, &out);
   return out;
 }
@@ -346,18 +356,28 @@ Result<AuditResult> AuditSession::FeedEpochFilesStreamed(const std::string& trac
                                                          const std::string& reports_path,
                                                          const StreamAuditHooks* hooks) {
   using R = Result<AuditResult>;
+  obs::PhaseTracer* tracer = obs::ResolveTracer(options_.tracer);
+  const obs::PhaseBreakdown phase_mark = tracer->totals();
   // Built directly (not via MergeShards) so single-file error messages stay identical to
   // FeedEpochFiles' — the degenerate one-shard case is a drop-in replacement.
   MergedShards merged;
-  Result<uint32_t> shard = merged.traces.AppendFile(trace_path, options_.io_env);
-  if (!shard.ok()) {
-    return R::Error(shard.error());
+  {
+    obs::TraceSpan span(tracer, obs::Phase::kPass1Skeleton);
+    Result<uint32_t> shard = merged.traces.AppendFile(trace_path, options_.io_env);
+    if (!shard.ok()) {
+      return R::Error(shard.error());
+    }
+    if (Status st = merged.reports.AppendFile(reports_path, options_.io_env); !st.ok()) {
+      return R::Error(st.error());
+    }
+    merged.shard_ids.push_back(shard.value());
   }
-  if (Status st = merged.reports.AppendFile(reports_path, options_.io_env); !st.ok()) {
-    return R::Error(st.error());
+  R result = FeedMergedEpochStreamed(std::move(merged), hooks);
+  if (result.ok()) {
+    // Re-attribute from the outer mark so pass-1 skeleton time is part of this epoch.
+    result.value().phases = tracer->totals().DiffSince(phase_mark);
   }
-  merged.shard_ids.push_back(shard.value());
-  return FeedMergedEpochStreamed(std::move(merged), hooks);
+  return result;
 }
 
 Result<AuditResult> AuditSession::FeedShardedEpoch(const std::vector<ShardEpochFiles>& shards,
@@ -368,11 +388,21 @@ Result<AuditResult> AuditSession::FeedShardedEpoch(const std::vector<ShardEpochF
   if (!threads.ok()) {
     return Result<AuditResult>::Error(threads.error());
   }
-  Result<MergedShards> merged = MergeShards(shards, {}, options_.io_env, threads.value());
+  obs::PhaseTracer* tracer = obs::ResolveTracer(options_.tracer);
+  const obs::PhaseBreakdown phase_mark = tracer->totals();
+  Result<MergedShards> merged = [&] {
+    obs::TraceSpan span(tracer, obs::Phase::kShardMerge);
+    return MergeShards(shards, {}, options_.io_env, threads.value());
+  }();
   if (!merged.ok()) {
     return Result<AuditResult>::Error(merged.error());
   }
-  return FeedMergedEpochStreamed(std::move(merged).value(), hooks);
+  Result<AuditResult> result = FeedMergedEpochStreamed(std::move(merged).value(), hooks);
+  if (result.ok()) {
+    // Re-attribute from the outer mark so shard-merge time is part of this epoch.
+    result.value().phases = tracer->totals().DiffSince(phase_mark);
+  }
+  return result;
 }
 
 Result<AuditResult> AuditSession::FeedShardedEpoch(const std::string& manifest_path,
@@ -381,12 +411,21 @@ Result<AuditResult> AuditSession::FeedShardedEpoch(const std::string& manifest_p
   if (!threads.ok()) {
     return Result<AuditResult>::Error(threads.error());
   }
-  Result<MergedShards> merged =
-      MergeShardsFromManifest(manifest_path, options_.io_env, threads.value());
+  obs::PhaseTracer* tracer = obs::ResolveTracer(options_.tracer);
+  const obs::PhaseBreakdown phase_mark = tracer->totals();
+  Result<MergedShards> merged = [&] {
+    obs::TraceSpan span(tracer, obs::Phase::kShardMerge);
+    return MergeShardsFromManifest(manifest_path, options_.io_env, threads.value());
+  }();
   if (!merged.ok()) {
     return Result<AuditResult>::Error(merged.error());
   }
-  return FeedMergedEpochStreamed(std::move(merged).value(), hooks);
+  Result<AuditResult> result = FeedMergedEpochStreamed(std::move(merged).value(), hooks);
+  if (result.ok()) {
+    // Re-attribute from the outer mark so shard-merge time is part of this epoch.
+    result.value().phases = tracer->totals().DiffSince(phase_mark);
+  }
+  return result;
 }
 
 }  // namespace orochi

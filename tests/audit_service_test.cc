@@ -13,6 +13,9 @@
 //      audit's truth, and every client-visible failure is retryable I/O — never tamper.
 //   4. Tamper still rejects through the socket path, with the direct audit's reason; a
 //      shard lying about its end-of-epoch totals is quarantined, never audited.
+//   5. Observability: the registry counters mirror the per-client stats exactly, and a
+//      seeded fault schedule shows up in them 1:1 — reconnects equal the scripted
+//      disconnects, transient-read retries equal the faults the injected Env fired.
 #include <fstream>
 #include <memory>
 #include <string>
@@ -27,6 +30,7 @@
 #include "src/net/frame.h"
 #include "src/net/transport.h"
 #include "src/objects/wire_format.h"
+#include "src/obs/metrics.h"
 #include "src/server/collector.h"
 #include "src/server/server_core.h"
 #include "src/server/tamper.h"
@@ -449,6 +453,96 @@ TEST(AuditService, CorruptFrameIsReportedAndNeverSpooled) {
   ASSERT_TRUE(verdict.ok()) << verdict.error();
   EXPECT_TRUE(verdict.value().accepted) << verdict.value().reason;
   EXPECT_EQ(Slurp(spool + "/epoch_1_shard_1.trace"), Slurp(files.trace_path));
+}
+
+// --- 5. Observability counters vs the injected schedule ---
+
+// The registry mirrors (orochi_client_*, orochi_io_*) are bumped at the same sites as
+// the mutex-guarded per-client stats, so across a seeded sweep the deltas must agree
+// exactly — and the fault schedule itself must be visible in them: one reconnect per
+// scripted disconnect, one transient-retry per fault the injected Env fired.
+TEST(AuditService, ObservabilityCountersMatchTheInjectedSchedule) {
+  const uint64_t base_seed = TestBaseSeed(0x0B5);
+  SCOPED_TRACE(SeedTraceMessage(base_seed));
+  obs::MetricsRegistry* reg = obs::MetricsRegistry::Default();
+  const uint64_t reconnects0 = reg->GetCounter("orochi_client_reconnects_total", "")->Value();
+  const uint64_t resumed0 =
+      reg->GetCounter("orochi_client_records_resumed_total", "")->Value();
+  const uint64_t acks0 = reg->GetCounter("orochi_client_acks_received_total", "")->Value();
+  const uint64_t retries0 =
+      reg->GetCounter("orochi_io_read_transient_retries_total", "")->Value();
+  const uint64_t recovered0 = reg->GetCounter("orochi_io_reads_recovered_total", "")->Value();
+
+  Result<Workload> workload = CounterWorkload();
+  ASSERT_TRUE(workload.ok());
+  const Workload& w = workload.value();
+  const std::string spool = MakeSpoolDir("obs_sweep");
+  ServerCore core(&w.app, w.initial, ServerOptions{.record_reports = true});
+  ShardSlice slice = ServeSlice(/*shard_id=*/1, /*epoch=*/1, /*requests=*/32, &core);
+
+  // The service's spool I/O (writes during ingest, reads during the audit) goes through
+  // a fault-injecting Env that fires only retryable read errors — every one of them must
+  // be absorbed by the retry loop and counted.
+  FaultOptions io_fo;
+  io_fo.seed = base_seed;
+  io_fo.p_read_transient = 0.05;
+  FaultInjectingEnv fenv(nullptr, io_fo);
+  AuditOptions audit_options;
+  audit_options.max_group_size = 8;
+  audit_options.io_env = &fenv;
+  ServiceOptions soptions = TestServiceOptions(spool, 1);
+  soptions.env = &fenv;
+
+  constexpr int kSchedules = 6;
+  uint64_t client_reconnects = 0;
+  uint64_t client_resumed = 0;
+  uint64_t client_acks = 0;
+  uint64_t scripted_disconnects = 0;
+  for (int s = 0; s < kSchedules; s++) {
+    // A one-shot kill at a different point each schedule: the client must reconnect
+    // exactly once per disconnect the transport actually fired.
+    NetFaultOptions fo;
+    fo.disconnect_after_writes = 4 + 7 * s;
+    FaultInjectingTransport faulty(nullptr, fo);
+
+    AuditService service(&w.app, audit_options, w.initial, soptions);
+    ASSERT_TRUE(service.Start().ok());
+    ClientStats cs;
+    ASSERT_TRUE(
+        StreamSlice(service.address(), slice, /*epoch=*/1, &faulty, 8, &cs).ok());
+    Result<AuditResult> verdict = service.WaitEpochVerdict(1);
+    ASSERT_TRUE(verdict.ok()) << "schedule " << s << ": " << verdict.error();
+    EXPECT_TRUE(verdict.value().accepted) << verdict.value().reason;
+    service.Stop();
+
+    EXPECT_EQ(faulty.disconnects(), 1u) << "schedule " << s;
+    EXPECT_EQ(cs.reconnects, faulty.disconnects()) << "schedule " << s;
+    client_reconnects += cs.reconnects;
+    client_resumed += cs.records_resumed;
+    client_acks += cs.acks_received;
+    scripted_disconnects += faulty.disconnects();
+  }
+
+  // Registry mirrors agree with the summed per-client stats, exactly.
+  EXPECT_EQ(reg->GetCounter("orochi_client_reconnects_total", "")->Value() - reconnects0,
+            client_reconnects);
+  EXPECT_EQ(reg->GetCounter("orochi_client_records_resumed_total", "")->Value() - resumed0,
+            client_resumed);
+  EXPECT_EQ(reg->GetCounter("orochi_client_acks_received_total", "")->Value() - acks0,
+            client_acks);
+  // ...and the schedule is legible in them: one reconnect per scripted kill.
+  EXPECT_EQ(client_reconnects, scripted_disconnects);
+
+  // Every transient read fault the Env injected was retried (none escalated — all six
+  // epochs accepted above proves no read ran out of attempts) and counted exactly once.
+  const uint64_t retries =
+      reg->GetCounter("orochi_io_read_transient_retries_total", "")->Value() - retries0;
+  const uint64_t recovered =
+      reg->GetCounter("orochi_io_reads_recovered_total", "")->Value() - recovered0;
+  EXPECT_EQ(retries, fenv.faults_injected());
+  EXPECT_GT(fenv.faults_injected(), 0u) << "the sweep never exercised an I/O fault";
+  EXPECT_GT(recovered, 0u);
+  EXPECT_LE(recovered, retries);
 }
 
 }  // namespace
