@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "src/common/strings.h"
 #include "src/common/timer.h"
 #include "src/objects/reports.h"
 #include "src/objects/trace.h"
@@ -18,14 +19,23 @@
 namespace orochi {
 
 // OROCHI_BENCH_SCALE multiplies request counts (default 1.0); benches stay tractable on
-// small machines and can be scaled up to paper-size workloads.
+// small machines and can be scaled up to paper-size workloads. A malformed value is a
+// config error, not a silent 1.0 — same contract as the audit knobs.
 inline double BenchScale() {
-  const char* env = std::getenv("OROCHI_BENCH_SCALE");
-  if (env == nullptr) {
-    return 1.0;
-  }
-  double v = std::atof(env);
-  return v > 0 ? v : 1.0;
+  static const double scale = [] {
+    const char* env = std::getenv("OROCHI_BENCH_SCALE");
+    if (env == nullptr) {
+      return 1.0;
+    }
+    Result<double> v = ParseScale(env);
+    if (!v.ok()) {
+      std::fprintf(stderr, "config: OROCHI_BENCH_SCALE='%s' is not a valid scale (%s)\n",
+                   env, v.error().c_str());
+      std::exit(2);
+    }
+    return v.value();
+  }();
+  return scale;
 }
 
 inline size_t Scaled(size_t n) { return static_cast<size_t>(static_cast<double>(n) * BenchScale()); }

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "src/common/io_env.h"
+#include "src/common/strings.h"
 #include "src/server/collector.h"
 #include "src/server/server_core.h"
 #include "src/server/thread_server.h"
@@ -18,14 +19,23 @@
 namespace orochi {
 namespace demo {
 
-// OROCHI_BENCH_SCALE scales request counts (CI smoke-runs with a small scale).
+// OROCHI_BENCH_SCALE scales request counts (CI smoke-runs with a small scale). A
+// malformed value is a config error, not a silent 1.0 — same contract as the audit knobs.
 inline double Scale() {
-  const char* env = std::getenv("OROCHI_BENCH_SCALE");
-  if (env == nullptr) {
-    return 1.0;
-  }
-  double v = std::atof(env);
-  return v > 0 ? v : 1.0;
+  static const double scale = [] {
+    const char* env = std::getenv("OROCHI_BENCH_SCALE");
+    if (env == nullptr) {
+      return 1.0;
+    }
+    Result<double> v = ParseScale(env);
+    if (!v.ok()) {
+      std::fprintf(stderr, "config: OROCHI_BENCH_SCALE='%s' is not a valid scale (%s)\n",
+                   env, v.error().c_str());
+      std::exit(2);
+    }
+    return v.value();
+  }();
+  return scale;
 }
 
 // TMPDIR/orochi_<name>, created; empty string when creation failed.
@@ -46,14 +56,22 @@ inline bool Fail(const std::string& what) {
 // OROCHI_FAULT_SEED, when set, wraps a demo's file I/O in a FaultInjectingEnv firing only
 // absorbable faults (transient read errors + short reads) — the demo must behave
 // identically, which is what the CI fault matrix asserts. nullptr = plain posix I/O.
+// Seeds parse strictly (decimal or 0x-hex); a malformed seed is a config error, not a
+// silent seed-0 schedule.
 inline FaultInjectingEnv* DemoFaultEnv() {
   static FaultInjectingEnv* env = []() -> FaultInjectingEnv* {
     const char* seed = std::getenv("OROCHI_FAULT_SEED");
     if (seed == nullptr || *seed == '\0') {
       return nullptr;
     }
+    Result<uint64_t> parsed = ParseSeed(seed);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "config: OROCHI_FAULT_SEED='%s' is not a valid seed (%s)\n",
+                   seed, parsed.error().c_str());
+      std::exit(2);
+    }
     FaultOptions fo;
-    fo.seed = static_cast<uint64_t>(std::strtoull(seed, nullptr, 0));
+    fo.seed = parsed.value();
     fo.p_read_transient = 0.02;
     fo.p_short_read = 0.10;
     return new FaultInjectingEnv(nullptr, fo);

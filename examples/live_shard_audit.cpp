@@ -258,8 +258,18 @@ bool RunDemo() {
     return false;
   }
   NetFaultOptions fo;
-  const char* seed = std::getenv("OROCHI_FAULT_SEED");
-  fo.seed = seed != nullptr ? std::strtoull(seed, nullptr, 0) : 0x5eedull;
+  fo.seed = 0x5eedull;
+  if (const char* seed = std::getenv("OROCHI_FAULT_SEED"); seed != nullptr && *seed != '\0') {
+    // Strict parse (decimal or 0x-hex), same contract as DemoFaultEnv: a malformed seed
+    // must not silently dial a different fault schedule.
+    Result<uint64_t> parsed = ParseSeed(seed);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "config: OROCHI_FAULT_SEED='%s' is not a valid seed (%s)\n",
+                   seed, parsed.error().c_str());
+      std::exit(2);
+    }
+    fo.seed = parsed.value();
+  }
   fo.p_disconnect_read = 0.01;
   fo.p_disconnect_write = 0.01;
   fo.disconnect_after_writes = 40;  // At least one fault fires even at tiny scales.

@@ -1,7 +1,10 @@
 #include "src/common/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace orochi {
 
@@ -76,6 +79,49 @@ Result<uint64_t> ParseUint64(std::string_view s) {
       return R::Error("value overflows uint64");
     }
     v = v * 10 + digit;
+  }
+  return v;
+}
+
+Result<uint64_t> ParseSeed(std::string_view s) {
+  using R = Result<uint64_t>;
+  if (s.size() <= 2 || s[0] != '0' || (s[1] != 'x' && s[1] != 'X')) {
+    return ParseUint64(s);
+  }
+  uint64_t v = 0;
+  for (char c : s.substr(2)) {
+    uint64_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint64_t>(c - 'A') + 10;
+    } else {
+      return R::Error("not a hexadecimal integer");
+    }
+    if (v > (UINT64_MAX - digit) / 16) {
+      return R::Error("value overflows uint64");
+    }
+    v = v * 16 + digit;
+  }
+  return v;
+}
+
+Result<double> ParseScale(std::string_view s) {
+  using R = Result<double>;
+  if (s.empty()) {
+    return R::Error("empty value");
+  }
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno != 0 || !std::isfinite(v)) {
+    return R::Error("not a finite number");
+  }
+  if (v <= 0) {
+    return R::Error("scale must be greater than zero");
   }
   return v;
 }

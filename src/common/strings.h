@@ -31,6 +31,16 @@ std::string FormatBytes(double bytes);
 // atoll, a malformed value is an error, never a silent fallback.
 Result<uint64_t> ParseUint64(std::string_view s);
 
+// Strict seed parse (OROCHI_FAULT_SEED): decimal per ParseUint64, or 0x/0X-prefixed
+// hexadecimal — whole string, no trailing junk, no overflow. Seeds are customarily
+// written in hex (CI uses 0xF417), which is why this is not just ParseUint64.
+Result<uint64_t> ParseSeed(std::string_view s);
+
+// Strict scale parse (OROCHI_BENCH_SCALE): the whole string must be a finite number
+// greater than zero. Unlike atof, a malformed or nonpositive value is an error, never a
+// silent fall-back to 1.0.
+Result<double> ParseScale(std::string_view s);
+
 }  // namespace orochi
 
 #endif  // SRC_COMMON_STRINGS_H_

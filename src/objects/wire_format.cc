@@ -41,6 +41,9 @@ constexpr uint8_t kRecOpLog = wire::kReportsRecOpLog;
 constexpr uint8_t kRecGroup = wire::kReportsRecGroup;
 constexpr uint8_t kRecOpCounts = wire::kReportsRecOpCounts;
 constexpr uint8_t kRecNondet = wire::kReportsRecNondet;
+constexpr uint8_t kRecOpLogSegment = wire::kReportsRecOpLogSegment;
+// rid + opnum + type + contents length prefix: the smallest encodable op-log entry.
+constexpr size_t kOpLogEntryMinBytes = 8 + 4 + 1 + 4;
 // State section record types.
 constexpr uint8_t kRecRegisters = 1;
 constexpr uint8_t kRecKv = 2;
@@ -407,16 +410,59 @@ void EnumerateReportsRecords(const Reports& reports, bool nondet_only,
       if (log.empty()) {
         continue;
       }
-      payload.clear();
-      PutU32(&payload, static_cast<uint32_t>(i));
-      PutU64(&payload, log.size());
+      uint64_t total_entry_bytes = 0;
       for (const OpRecord& op : log) {
-        PutU64(&payload, op.rid);
-        PutU32(&payload, op.opnum);
-        PutU8(&payload, static_cast<uint8_t>(op.type));
-        PutStr(&payload, op.contents);
+        total_entry_bytes += kOpLogEntryMinBytes + op.contents.size();
       }
-      fn(kRecOpLog, payload);
+      if (total_entry_bytes <= wire::kMaxOpLogSegmentBytes) {
+        // Small log: the classic monolithic record, byte-identical to a v2 writer.
+        payload.clear();
+        PutU32(&payload, static_cast<uint32_t>(i));
+        PutU64(&payload, log.size());
+        for (const OpRecord& op : log) {
+          PutU64(&payload, op.rid);
+          PutU32(&payload, op.opnum);
+          PutU8(&payload, static_cast<uint8_t>(op.type));
+          PutStr(&payload, op.contents);
+        }
+        fn(kRecOpLog, payload);
+        continue;
+      }
+      // Hot object: split across byte-capped segments so no reader ever has to hold the
+      // whole log's record resident. A single entry over the cap rides alone.
+      uint32_t segment_seq = 0;
+      uint64_t first_seqnum = 1;
+      size_t next = 0;
+      while (next < log.size()) {
+        payload.clear();
+        PutU32(&payload, static_cast<uint32_t>(i));
+        PutU32(&payload, segment_seq);
+        PutU64(&payload, first_seqnum);
+        const size_t count_pos = payload.size();
+        PutU64(&payload, 0);  // Entry count, patched once the segment is sealed.
+        uint64_t count = 0;
+        uint64_t entry_bytes = 0;
+        while (next < log.size()) {
+          const OpRecord& op = log[next];
+          const uint64_t one = kOpLogEntryMinBytes + op.contents.size();
+          if (count > 0 && entry_bytes + one > wire::kMaxOpLogSegmentBytes) {
+            break;
+          }
+          PutU64(&payload, op.rid);
+          PutU32(&payload, op.opnum);
+          PutU8(&payload, static_cast<uint8_t>(op.type));
+          PutStr(&payload, op.contents);
+          entry_bytes += one;
+          count++;
+          next++;
+        }
+        for (int b = 0; b < 8; b++) {
+          payload[count_pos + b] = static_cast<char>((count >> (8 * b)) & 0xff);
+        }
+        fn(kRecOpLogSegment, payload);
+        first_seqnum += count;
+        segment_seq++;
+      }
     }
     for (const auto& [tag, rids] : reports.groups) {
       payload.clear();
@@ -531,6 +577,10 @@ Status DecodeReportsRecordPayload(uint8_t type, const std::string& payload,
                              " in " + path);
       }
       std::vector<OpRecord>& log = out->op_logs[object];
+      if (state->segments.count(object) > 0) {
+        return Status::Error("wire: monolithic op-log record for segmented object id " +
+                             std::to_string(object) + " in " + path);
+      }
       if (!log.empty()) {
         return Status::Error("wire: duplicate op-log record for object id " +
                              std::to_string(object) + " in " + path);
@@ -557,6 +607,65 @@ Status DecodeReportsRecordPayload(uint8_t type, const std::string& payload,
       if (!c.AtEnd()) {
         return Status::Error("wire: trailing bytes in op-log record in " + path);
       }
+      return Status::Ok();
+    }
+    case kRecOpLogSegment: {
+      OpLogSegmentHeader h;
+      if (!c.TakeU32(&h.object) || !c.TakeU32(&h.segment_seq) ||
+          !c.TakeU64(&h.first_seqnum) || !c.TakeU64(&h.count)) {
+        return Status::Error("wire: malformed op-log segment record in " + path);
+      }
+      if (h.object >= out->op_logs.size()) {
+        return Status::Error("wire: op-log segment for unknown object id " +
+                             std::to_string(h.object) + " in " + path);
+      }
+      std::vector<OpRecord>& log = out->op_logs[h.object];
+      auto it = state->segments.find(h.object);
+      const uint32_t expected_seq = it == state->segments.end() ? 0 : it->second;
+      if (it == state->segments.end() && !log.empty()) {
+        return Status::Error("wire: op-log segment for monolithic object id " +
+                             std::to_string(h.object) + " in " + path);
+      }
+      if (h.segment_seq != expected_seq) {
+        return Status::Error("wire: op-log segment " + std::to_string(h.segment_seq) +
+                             " out of order for object id " + std::to_string(h.object) +
+                             " (expected " + std::to_string(expected_seq) + ") in " + path);
+      }
+      if (h.count == 0) {
+        // The writer never seals an empty segment; accepting one would let two distinct
+        // byte streams decode to the same Reports.
+        return Status::Error("wire: empty op-log segment for object id " +
+                             std::to_string(h.object) + " in " + path);
+      }
+      if (h.first_seqnum != log.size() + 1) {
+        return Status::Error("wire: op-log segment entry range for object id " +
+                             std::to_string(h.object) + " starts at seqnum " +
+                             std::to_string(h.first_seqnum) + ", expected " +
+                             std::to_string(log.size() + 1) + " in " + path);
+      }
+      if (!c.CountFits(h.count, kOpLogEntryMinBytes)) {
+        return Status::Error("wire: op-log segment count " + std::to_string(h.count) +
+                             " exceeds payload in " + path);
+      }
+      log.reserve(log.size() + static_cast<size_t>(h.count));
+      for (uint64_t i = 0; i < h.count; i++) {
+        OpRecord op;
+        uint8_t optype;
+        if (!c.TakeU64(&op.rid) || !c.TakeU32(&op.opnum) || !c.TakeU8(&optype) ||
+            !c.TakeStr(&op.contents)) {
+          return Status::Error("wire: malformed op record in " + path);
+        }
+        if (optype > static_cast<uint8_t>(StateOpType::kDbOp)) {
+          return Status::Error("wire: unknown op type " + std::to_string(optype) + " in " +
+                               path);
+        }
+        op.type = static_cast<StateOpType>(optype);
+        log.push_back(std::move(op));
+      }
+      if (!c.AtEnd()) {
+        return Status::Error("wire: trailing bytes in op-log segment record in " + path);
+      }
+      state->segments[h.object] = expected_seq + 1;
       return Status::Ok();
     }
     case kRecGroup: {
@@ -658,6 +767,32 @@ std::vector<OpLogEntrySpan> IndexOpLogEntries(const std::string& payload) {
   }
   spans.reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; i++) {
+    OpLogEntrySpan span;
+    span.offset = c.pos;
+    uint64_t rid = 0;
+    uint32_t opnum = 0;
+    uint8_t optype = 0;
+    if (!c.TakeU64(&rid) || !c.TakeU32(&opnum) || !c.TakeU8(&optype) || !c.SkipStr()) {
+      spans.clear();
+      return spans;
+    }
+    span.bytes = c.pos - span.offset;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+std::vector<OpLogEntrySpan> IndexOpLogSegmentEntries(const std::string& payload,
+                                                     OpLogSegmentHeader* header) {
+  std::vector<OpLogEntrySpan> spans;
+  Cursor c = MakeCursor(payload);
+  if (!c.TakeU32(&header->object) || !c.TakeU32(&header->segment_seq) ||
+      !c.TakeU64(&header->first_seqnum) || !c.TakeU64(&header->count) ||
+      !c.CountFits(header->count, 8 + 4 + 1 + 4)) {
+    return spans;
+  }
+  spans.reserve(static_cast<size_t>(header->count));
+  for (uint64_t i = 0; i < header->count; i++) {
     OpLogEntrySpan span;
     span.offset = c.pos;
     uint64_t rid = 0;

@@ -11,10 +11,15 @@
 //            end record's own frame — so a reader proves it saw the complete section.
 //            In v1 the end record is empty.
 //
-// Writers emit v2; readers accept v1 and v2, so pre-existing spill files stay readable.
-// All writes are crash-safe: temp file + fsync + rename-into-place, so a reader only ever
-// observes a previous complete file or the new complete file. All file I/O goes through a
-// pluggable Env (src/common/io_env.h); nullptr means Env::Default().
+// Writers emit v3; readers accept v1 through v3, so pre-existing spill files stay
+// readable. v3 adds the segmented op-log record (reports sections only): an object whose
+// encoded log exceeds kMaxOpLogSegmentBytes is split across several
+// (object, segment_seq, entry_range) records instead of one monolithic record, so a
+// streaming pass never transiently materializes more than one segment. Logs at or under
+// the cap still encode as the classic monolithic record — byte-identical to what a v2
+// writer produced. All writes are crash-safe: temp file + fsync + rename-into-place, so a
+// reader only ever observes a previous complete file or the new complete file. All file
+// I/O goes through a pluggable Env (src/common/io_env.h); nullptr means Env::Default().
 //
 // All integers are little-endian; strings are u32 length + raw bytes; wscript Values ride
 // as their canonical Serialize() form. A file is rejected (Status/Result error, never a
@@ -31,6 +36,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -49,8 +55,10 @@ namespace wire {
 
 inline constexpr char kMagic[8] = {'O', 'R', 'O', 'C', 'H', 'I', 'W', 'F'};
 // What writers emit / the newest version readers accept.
-inline constexpr uint32_t kFormatVersion = 2;
-// The oldest version readers still accept (v1: no per-record CRC, empty end record).
+// v1: no per-record CRC, empty end record. v2: CRC32C per record + CRC'd footer.
+// v3: v2 framing + the segmented op-log reports record (kReportsRecOpLogSegment).
+inline constexpr uint32_t kFormatVersion = 3;
+// The oldest version readers still accept.
 inline constexpr uint32_t kMinFormatVersion = 1;
 
 enum class Section : uint8_t {
@@ -89,6 +97,17 @@ inline constexpr uint8_t kReportsRecOpLog = 2;
 inline constexpr uint8_t kReportsRecGroup = 3;
 inline constexpr uint8_t kReportsRecOpCounts = 4;
 inline constexpr uint8_t kReportsRecNondet = 5;
+// v3: one byte-capped slice of an object's op-log. Payload: u32 object, u32 segment_seq
+// (0-based, strictly sequential per object), u64 first_seqnum (1-based, must continue the
+// log exactly — no gaps, no overlap), u64 entry count, then the entry frames. An object
+// encodes either as one monolithic kReportsRecOpLog or as segments, never both.
+inline constexpr uint8_t kReportsRecOpLogSegment = 6;
+
+// Writer-side segmentation cap: an object whose encoded entry frames exceed this many
+// bytes spills as kReportsRecOpLogSegment records of at most this size (a single entry
+// larger than the cap rides alone in its own segment), so pass-1 indexing never holds
+// more than ~one segment of one object transiently resident.
+inline constexpr uint64_t kMaxOpLogSegmentBytes = 64 * 1024;
 
 // The 13-byte envelope header for `section` at kFormatVersion, for sidecar writers.
 std::string EnvelopeHeader(Section section);
@@ -252,6 +271,10 @@ struct ReportsDecodeState {
   bool saw_op_counts = false;
   bool saw_non_object = false;
   std::set<std::pair<uint8_t, std::string>> declared;
+  // v3 segment sequencing: object id -> next expected segment_seq. Presence of an entry
+  // marks the object as segmented, so a later monolithic op-log record for it (or a
+  // segment for an object already covered monolithically) is rejected.
+  std::map<uint32_t, uint32_t> segments;
 };
 
 // Decodes one reports record payload into *out exactly as ReadReportsFile would.
@@ -270,6 +293,19 @@ struct OpLogEntrySpan {
 
 // Walks a validated op-log record payload and returns each entry's span, in log order.
 std::vector<OpLogEntrySpan> IndexOpLogEntries(const std::string& payload);
+
+// Parsed fixed prefix of a v3 segmented op-log record payload.
+struct OpLogSegmentHeader {
+  uint32_t object = 0;
+  uint32_t segment_seq = 0;
+  uint64_t first_seqnum = 0;  // 1-based seqnum of the segment's first entry.
+  uint64_t count = 0;
+};
+
+// Walks a validated kReportsRecOpLogSegment payload: fills *header and returns each
+// entry's span (in segment order). Empty on malformed input, like IndexOpLogEntries.
+std::vector<OpLogEntrySpan> IndexOpLogSegmentEntries(const std::string& payload,
+                                                     OpLogSegmentHeader* header);
 
 // Decodes one op-log entry frame (a single OpLogEntrySpan's bytes) exactly as the reports
 // reader would. The out-of-core audit uses this to materialize an entry from a point read

@@ -80,9 +80,10 @@ class Collector {
     trace_ = std::move(trace);
   }
 
-  // Closes the current epoch: spills the recorded trace to a wire-format file (written
-  // to a temp file, fsynced, then renamed into place — a reader never observes a partial
-  // spill) and, on success, resets the in-memory trace for the next epoch. On any
+  // Closes the current epoch: spills the recorded trace to a wire-format file at the
+  // current wire::kFormatVersion (written to a temp file, fsynced, then renamed into
+  // place — a reader never observes a partial spill) and, on success, resets the
+  // in-memory trace for the next epoch. On any
   // write/fsync/rename failure the error propagates and the trace is kept so no recorded
   // traffic is lost. Call after draining the server.
   Status Flush(const std::string& path) {

@@ -70,6 +70,9 @@ Reports ServerCore::TakeReports() {
 
 Status ServerCore::ExportReports(const std::string& path) {
   std::lock_guard<std::mutex> lock(report_mu_);
+  // The shared writer emits wire v3: an object whose op-log outgrows
+  // wire::kMaxOpLogSegmentBytes spills as byte-capped segment records, so a hot object
+  // here never forces the verifier's pass 1 to materialize its whole log at once.
   if (Status st = ReportsWriter::WriteFile(path, reports_, options_.io_env); !st.ok()) {
     return st;
   }

@@ -84,7 +84,7 @@ bool ValidTraceRecordType(uint8_t type) {
 }
 
 bool ValidReportsRecordType(uint8_t type) {
-  return type >= wire::kReportsRecObject && type <= wire::kReportsRecNondet;
+  return type >= wire::kReportsRecObject && type <= wire::kReportsRecOpLogSegment;
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "src/stream/checkpoint.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -8,6 +9,8 @@
 #include "src/objects/stores.h"
 #include "src/objects/wire_format.h"
 #include "src/objects/wire_primitives.h"
+#include "src/stream/reports_index.h"
+#include "src/stream/trace_index.h"
 
 namespace orochi {
 
@@ -21,8 +24,10 @@ using wire_primitives::PutU32;
 using wire_primitives::PutU64;
 
 // Checkpoint-section record types.
-constexpr uint8_t kMetaRecord = 1;   // u64 fingerprint.
-constexpr uint8_t kChunkRecord = 2;  // One completed task (order + stats + outputs).
+constexpr uint8_t kMetaRecord = 1;     // u64 fingerprint.
+constexpr uint8_t kChunkRecord = 2;    // One completed task (order + stats + outputs).
+constexpr uint8_t kPrepareRecord = 3;  // u64 object: Prepare finished scanning its log.
+constexpr uint8_t kCompareRecord = 4;  // u64 watermark: responses fully compared (pass 3).
 
 void EncodeChunkRecord(size_t order, const AuditTaskRecord& rec, std::string* out) {
   out->clear();
@@ -124,11 +129,12 @@ void ReadWholeFileBestEffort(Env* env, const std::string& path, std::string* out
   }
 }
 
-// Parses a prior journal's bytes: envelope + meta(fingerprint) + chunk records, stopping
-// silently at the first torn or corrupt byte. Returns false (no records kept) when the
-// envelope or fingerprint does not match — the file belongs to a different audit.
+// Parses a prior journal's bytes: envelope + meta(fingerprint) + progress records,
+// stopping silently at the first torn or corrupt byte. Returns false (nothing kept) when
+// the envelope or fingerprint does not match — the file belongs to a different audit.
 bool ParsePriorJournal(const std::string& data, uint64_t fingerprint,
-                       std::unordered_map<size_t, AuditTaskRecord>* records) {
+                       std::unordered_map<size_t, AuditTaskRecord>* records,
+                       std::set<uint64_t>* prepare_scans, uint64_t* compare_watermark) {
   if (data.size() < wire::kEnvelopeHeaderBytes ||
       data.compare(0, sizeof(wire::kMagic), wire::kMagic, sizeof(wire::kMagic)) != 0) {
     return false;
@@ -167,34 +173,105 @@ bool ParsePriorJournal(const std::string& data, uint64_t fingerprint,
       saw_meta = true;
       continue;
     }
-    if (type != kChunkRecord) {
-      break;
+    if (type == kChunkRecord) {
+      size_t order;
+      AuditTaskRecord rec;
+      if (!DecodeChunkRecord(payload, &order, &rec)) {
+        break;
+      }
+      records->emplace(order, std::move(rec));
+    } else if (type == kPrepareRecord) {
+      Cursor cur = MakeCursor(payload);
+      uint64_t object;
+      if (!cur.TakeU64(&object) || !cur.AtEnd()) {
+        break;
+      }
+      prepare_scans->insert(object);
+    } else if (type == kCompareRecord) {
+      Cursor cur = MakeCursor(payload);
+      uint64_t watermark;
+      if (!cur.TakeU64(&watermark) || !cur.AtEnd()) {
+        break;
+      }
+      *compare_watermark = std::max(*compare_watermark, watermark);
+    } else {
+      break;  // Unknown record kind: treat like a torn tail.
     }
-    size_t order;
-    AuditTaskRecord rec;
-    if (!DecodeChunkRecord(payload, &order, &rec)) {
-      break;
-    }
-    records->emplace(order, std::move(rec));
   }
   return saw_meta;
 }
 
 }  // namespace
 
-uint64_t CheckpointFingerprint(const InitialState& initial, const AuditPlan& plan,
-                               const AuditOptions& options) {
+uint64_t StreamEpochFingerprint(const InitialState& initial, const StreamTraceSet& traces,
+                                const StreamReportsSet& reports,
+                                const AuditOptions& options) {
   uint64_t h = FnvHash(InitialStateFingerprint(initial));
   h = HashCombine(h, options.max_group_size);
   h = HashCombine(h, options.enable_query_dedup ? 1 : 0);
-  h = HashCombine(h, plan.fail_order);
-  h = HashCombine(h, FnvHash(plan.fail_reason));
-  h = HashCombine(h, plan.tasks.size());
-  for (const AuditTask& task : plan.tasks) {
-    h = HashCombine(h, task.order);
-    h = HashCombine(h, task.rids.size());
-    for (RequestId rid : task.rids) {
+  // Trace side: event structure plus each payload's pass-1 CRC and length, so two epochs
+  // with identical skeletons but different request params or response bodies cannot
+  // collide (the skeleton sheds those bytes; the CRC still binds them).
+  h = HashCombine(h, traces.num_events());
+  const Trace& trace = traces.skeleton();
+  for (size_t i = 0; i < traces.num_events(); i++) {
+    const TraceEvent& e = trace.events[i];
+    h = HashCombine(h, static_cast<uint64_t>(e.kind));
+    h = HashCombine(h, e.rid);
+    h = HashCombine(h, FnvHash(e.script));
+    h = HashCombine(h, traces.loc(i).crc);
+    h = HashCombine(h, traces.loc(i).bytes);
+  }
+  // Reports side: the full skeleton plus each op-log entry frame's pass-1 CRC (binding
+  // the shed contents bytes exactly as the trace CRCs bind payloads).
+  const Reports& skel = reports.skeleton();
+  h = HashCombine(h, skel.objects.size());
+  for (const ObjectDesc& d : skel.objects) {
+    h = HashCombine(h, static_cast<uint64_t>(d.kind));
+    h = HashCombine(h, FnvHash(d.name));
+  }
+  for (size_t obj = 0; obj < skel.op_logs.size(); obj++) {
+    const std::vector<OpRecord>& log = skel.op_logs[obj];
+    h = HashCombine(h, log.size());
+    for (size_t j = 0; j < log.size(); j++) {
+      const OpRecord& op = log[j];
+      h = HashCombine(h, op.rid);
+      h = HashCombine(h, op.opnum);
+      h = HashCombine(h, static_cast<uint64_t>(op.type));
+      h = HashCombine(h, reports.loc(obj, j + 1).crc);
+    }
+  }
+  h = HashCombine(h, skel.groups.size());
+  for (const auto& [tag, rids] : skel.groups) {
+    h = HashCombine(h, tag);
+    h = HashCombine(h, rids.size());
+    for (RequestId rid : rids) {
       h = HashCombine(h, rid);
+    }
+  }
+  std::vector<std::pair<RequestId, uint32_t>> counts(skel.op_counts.begin(),
+                                                     skel.op_counts.end());
+  std::sort(counts.begin(), counts.end());
+  h = HashCombine(h, counts.size());
+  for (const auto& [rid, count] : counts) {
+    h = HashCombine(h, rid);
+    h = HashCombine(h, count);
+  }
+  std::vector<RequestId> nondet_rids;
+  nondet_rids.reserve(skel.nondet.size());
+  for (const auto& [rid, recs] : skel.nondet) {
+    (void)recs;
+    nondet_rids.push_back(rid);
+  }
+  std::sort(nondet_rids.begin(), nondet_rids.end());
+  h = HashCombine(h, nondet_rids.size());
+  for (RequestId rid : nondet_rids) {
+    const std::vector<NondetRecord>& recs = skel.nondet.at(rid);
+    h = HashCombine(h, rid);
+    h = HashCombine(h, recs.size());
+    for (const NondetRecord& r : recs) {
+      h = HashCombine(h, FnvHash(r.name));
+      h = HashCombine(h, FnvHash(r.value));
     }
   }
   return h;
@@ -209,10 +286,15 @@ Result<std::unique_ptr<CheckpointJournal>> CheckpointJournal::Open(Env* env,
 
   std::string prior;
   ReadWholeFileBestEffort(env, path, &prior);
-  if (!prior.empty() && !ParsePriorJournal(prior, fingerprint, &journal->records_)) {
+  if (!prior.empty() &&
+      !ParsePriorJournal(prior, fingerprint, &journal->records_,
+                         &journal->prepare_loaded_, &journal->compare_loaded_)) {
     journal->records_.clear();
+    journal->prepare_loaded_.clear();
+    journal->compare_loaded_ = 0;
   }
   journal->loaded_ = journal->records_.size();
+  journal->compare_appended_ = journal->compare_loaded_;
 
   // Rewrite the journal fresh: envelope + meta + every surviving record. This truncates
   // any torn tail in place, so appends always extend a well-formed prefix.
@@ -229,6 +311,16 @@ Result<std::unique_ptr<CheckpointJournal>> CheckpointJournal::Open(Env* env,
     EncodeChunkRecord(order, rec, &payload);
     wire::AppendRecordFrame(&buf, kChunkRecord, payload);
   }
+  for (uint64_t object : journal->prepare_loaded_) {
+    payload.clear();
+    PutU64(&payload, object);
+    wire::AppendRecordFrame(&buf, kPrepareRecord, payload);
+  }
+  if (journal->compare_loaded_ > 0) {
+    payload.clear();
+    PutU64(&payload, journal->compare_loaded_);
+    wire::AppendRecordFrame(&buf, kCompareRecord, payload);
+  }
   if (Status st = journal->out_->Append(buf); !st.ok()) {
     return R::Error("checkpoint: cannot write " + path + ": " + st.error());
   }
@@ -243,19 +335,46 @@ const AuditTaskRecord* CheckpointJournal::Lookup(size_t order) {
   return it == records_.end() ? nullptr : &it->second;
 }
 
-void CheckpointJournal::Record(const AuditTask& task, const AuditTaskRecord& record) {
-  std::string payload;
-  EncodeChunkRecord(task.order, record, &payload);
+void CheckpointJournal::AppendFrame(uint8_t type, const std::string& payload) {
   std::string framed;
-  wire::AppendRecordFrame(&framed, kChunkRecord, payload);
-  std::lock_guard<std::mutex> lock(mu_);
+  wire::AppendRecordFrame(&framed, type, payload);
   if (write_failed_ || out_ == nullptr) {
     return;
   }
-  // Append + fsync so a completed chunk survives a kill. A failure only stops the
-  // journal from growing — the audit's verdict never depends on journal writes.
+  // Append + fsync so retired work survives a kill. A failure only stops the journal
+  // from growing — the audit's verdict never depends on journal writes.
   if (!out_->Append(framed).ok() || !out_->Sync().ok()) {
     write_failed_ = true;
+  }
+}
+
+void CheckpointJournal::Record(const AuditTask& task, const AuditTaskRecord& record) {
+  std::string payload;
+  EncodeChunkRecord(task.order, record, &payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendFrame(kChunkRecord, payload);
+}
+
+void CheckpointJournal::RecordPrepareScan(uint64_t object) {
+  if (PriorPrepareScan(object)) {
+    return;  // Open already rewrote the prior run's record.
+  }
+  std::string payload;
+  PutU64(&payload, object);
+  std::lock_guard<std::mutex> lock(mu_);
+  AppendFrame(kPrepareRecord, payload);
+}
+
+void CheckpointJournal::RecordCompareWatermark(uint64_t responses_compared) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (responses_compared <= compare_appended_) {
+    return;  // The watermark on disk already covers this prefix.
+  }
+  std::string payload;
+  PutU64(&payload, responses_compared);
+  AppendFrame(kCompareRecord, payload);
+  if (!write_failed_) {
+    compare_appended_ = responses_compared;
   }
 }
 

@@ -1,22 +1,24 @@
-// Resumable streamed audits: a sidecar wire file (Section::kCheckpoint) journaling every
-// pass-2 chunk task that retired successfully, so a verifier killed mid-audit resumes by
-// replaying those contributions instead of re-executing them. Because the engine is
-// deterministic and only successful tasks are journaled, a resumed run's verdict,
+// Resumable streamed audits: a sidecar wire file (Section::kCheckpoint) journaling audit
+// progress in every phase — completed pass-2 chunk tasks (replayed on resume instead of
+// re-executed), per-object Prepare scan watermarks, and the pass-3 compare watermark — so
+// a verifier killed in *any* phase resumes without redoing retired work. Because the
+// engine is deterministic and only successful work is journaled, a resumed run's verdict,
 // rejection reason, and final state are bit-identical to an uninterrupted run at every
 // thread count and memory budget.
 //
-// File layout: the standard 13-byte envelope, then one meta record carrying the plan
-// fingerprint, then one record per completed task, appended (and fsynced) as tasks
-// retire. There is deliberately no end record — the file is an append journal whose tail
-// may be torn by a crash; loading tolerates that by keeping every record before the first
+// File layout: the standard 13-byte envelope, then one meta record carrying the epoch
+// fingerprint, then progress records appended (and fsynced) as work retires. There is
+// deliberately no end record — the file is an append journal whose tail may be torn by a
+// crash; loading tolerates that by keeping every record before the first
 // malformed/CRC-failed byte and discarding the rest. A fingerprint mismatch (different
-// epoch, different plan, different audit-relevant options) discards the whole file, so a
-// stale checkpoint can never smuggle another epoch's outputs into this one.
+// epoch content, different audit-relevant options) discards the whole file, so a stale
+// checkpoint can never smuggle another epoch's outputs into this one.
 #ifndef SRC_STREAM_CHECKPOINT_H_
 #define SRC_STREAM_CHECKPOINT_H_
 
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -25,14 +27,24 @@
 
 namespace orochi {
 
-// Identity of one (epoch, plan, audit-options) combination: initial-state fingerprint,
-// every task's walk order and rid list, the plan's validation failure, and the options
-// that change what re-execution computes (max_group_size, enable_query_dedup).
+class StreamTraceSet;
+class StreamReportsSet;
+
+// Identity of one (epoch content, audit-options) combination, computed from the pass-1
+// skeletons BEFORE Prepare so the journal covers every later phase: initial-state
+// fingerprint, every trace event's kind/rid/script plus its payload CRC and length,
+// the reports skeleton in full (objects, per-entry rid/opnum/type plus entry-frame CRCs,
+// groups, op counts, nondet records), and the options that change what the audit computes
+// (max_group_size, enable_query_dedup). Binding payload CRCs is what makes replay sound:
+// both runs' pass 1 read the spill files end to end, so a file that changed between runs
+// cannot fingerprint-match. The plan needs no separate binding — it is a deterministic
+// function of the skeletons and options, so task orders stay stable across runs.
 // Deliberately NOT hashed: thread count, memory budget, io_env, checkpoint_path — those
 // change scheduling, never the verdict, and a checkpoint must survive a resume under a
 // different thread count or budget.
-uint64_t CheckpointFingerprint(const InitialState& initial, const AuditPlan& plan,
-                               const AuditOptions& options);
+uint64_t StreamEpochFingerprint(const InitialState& initial, const StreamTraceSet& traces,
+                                const StreamReportsSet& reports,
+                                const AuditOptions& options);
 
 class CheckpointJournal : public AuditTaskJournal {
  public:
@@ -51,6 +63,24 @@ class CheckpointJournal : public AuditTaskJournal {
   // (the journal stops growing) but never the audit.
   void Record(const AuditTask& task, const AuditTaskRecord& record) override;
 
+  // --- Prepare-phase watermarks: per-object versioned-store scan progress ---
+  // The store builds themselves are in-memory and must rerun on resume, so these are
+  // progress markers (surfaced as AuditStats::prepare_watermarks_reused), journaled so a
+  // kill mid-Prepare leaves a fingerprint-bound record of how far the build got.
+  // True when a prior run journaled a completed scan of `object`.
+  bool PriorPrepareScan(uint64_t object) const { return prepare_loaded_.count(object) > 0; }
+  // Appends a scan-completed record for `object` (no-op if a prior run already has it).
+  void RecordPrepareScan(uint64_t object);
+  size_t resumable_prepare_scans() const { return prepare_loaded_.size(); }
+
+  // --- Pass-3 compare watermark: responses fully compared, in trace order ---
+  // A resumed run skips re-comparing the first `prior_compare_watermark()` responses:
+  // sound because the fingerprint binds every response payload's CRC, and a surviving
+  // journal means the prior run reached no verdict — all compared responses matched.
+  uint64_t prior_compare_watermark() const { return compare_loaded_; }
+  // Appends the watermark (monotone; appends only when it advances past what is on disk).
+  void RecordCompareWatermark(uint64_t responses_compared);
+
   // Closes the append handle and deletes the journal file. Called once a verdict
   // (accept or reject) is reached; an I/O-failed audit keeps the file for resume.
   Status RemoveFile();
@@ -61,11 +91,17 @@ class CheckpointJournal : public AuditTaskJournal {
  private:
   CheckpointJournal(Env* env, std::string path) : env_(env), path_(std::move(path)) {}
 
+  void AppendFrame(uint8_t type, const std::string& payload);
+
   Env* env_;
   std::string path_;
   std::unique_ptr<WritableFile> out_;
-  std::mutex mu_;  // Guards out_ and write_failed_; records_ is frozen after Open.
+  std::mutex mu_;  // Guards out_, write_failed_, compare_appended_; the *_loaded_ state
+                   // and records_ are frozen after Open.
   std::unordered_map<size_t, AuditTaskRecord> records_;
+  std::set<uint64_t> prepare_loaded_;
+  uint64_t compare_loaded_ = 0;
+  uint64_t compare_appended_ = 0;  // Highest watermark on disk (loaded or appended).
   size_t loaded_ = 0;
   bool write_failed_ = false;
 };

@@ -1,11 +1,26 @@
 #include "src/stream/reports_index.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/crc32c.h"
 #include "src/objects/wire_format.h"
+#include "src/obs/metrics.h"
 
 namespace orochi {
+
+namespace {
+
+// The chunk budget only meters loader admissions; this gauge exposes the residency the
+// budget cannot see — whole record payloads materialized while pass 1 indexes them.
+obs::Gauge* Pass1TransientGauge() {
+  static obs::Gauge* const g = obs::MetricsRegistry::Default()->GetGauge(
+      "orochi_pass1_transient_peak_bytes",
+      "largest record payload transiently resident during pass-1 reports indexing");
+  return g;
+}
+
+}  // namespace
 
 Status StreamReportsSet::AppendFile(const std::string& path, Env* env) {
   ReportsRecordReader reader;
@@ -33,36 +48,49 @@ Status StreamReportsSet::AppendFile(const std::string& path, Env* env) {
         !st.ok()) {
       return st;
     }
-    if (type != wire::kReportsRecOpLog) {
+    pass1_transient_peak_bytes_ =
+        std::max<uint64_t>(pass1_transient_peak_bytes_, payload.size());
+    if (type != wire::kReportsRecOpLog && type != wire::kReportsRecOpLogSegment) {
       continue;
     }
-    // The decoder accepted the record, so the payload starts with the little-endian
-    // object id and the entry frames sit back-to-back after the 12-byte prefix; the spans
-    // must tile the payload exactly as the decoded entries do.
-    const unsigned char* p = reinterpret_cast<const unsigned char*>(payload.data());
+    // The decoder accepted the record, so the entry frames sit back-to-back after the
+    // fixed prefix (12 bytes monolithic, 24 bytes segment); the spans must tile the
+    // payload exactly as the decoded entries do. A segment record covers only the tail of
+    // entries it just appended — earlier segments of the same object already shed theirs.
     uint32_t object = 0;
-    for (int i = 0; i < 4; i++) {
-      object |= static_cast<uint32_t>(p[i]) << (8 * i);
+    size_t first_index = 0;  // Log index of the first entry this record covers.
+    std::vector<OpLogEntrySpan> spans;
+    if (type == wire::kReportsRecOpLog) {
+      const unsigned char* p = reinterpret_cast<const unsigned char*>(payload.data());
+      for (int i = 0; i < 4; i++) {
+        object |= static_cast<uint32_t>(p[i]) << (8 * i);
+      }
+      spans = IndexOpLogEntries(payload);
+    } else {
+      OpLogSegmentHeader h;
+      spans = IndexOpLogSegmentEntries(payload, &h);
+      object = h.object;
+      first_index = static_cast<size_t>(h.first_seqnum - 1);
     }
-    std::vector<OpLogEntrySpan> spans = IndexOpLogEntries(payload);
     file_locs.resize(file_reports.op_logs.size());
     std::vector<OpRecord>& log = file_reports.op_logs[object];
-    if (spans.size() != log.size()) {
+    if (first_index + spans.size() != log.size()) {
       return Status::Error("stream: op-log index drifted from the decoder in " + path);
     }
     std::vector<OpLogEntryLoc>& locs = file_locs[object];
-    locs.reserve(spans.size());
+    locs.reserve(log.size());
     for (const OpLogEntrySpan& span : spans) {
       locs.push_back({file, reader.last_payload_offset() + span.offset, span.bytes,
                       Crc32c(payload.data() + span.offset, span.bytes)});
     }
-    // Shed this log's contents now that their locations are indexed, so at most one
-    // op-log record's contents are transiently resident during the pass.
-    for (OpRecord& op : log) {
-      op.contents.clear();
-      op.contents.shrink_to_fit();
+    // Shed the covered contents now that their locations are indexed, so at most one
+    // record's contents are transiently resident during the pass.
+    for (size_t i = first_index; i < log.size(); i++) {
+      log[i].contents.clear();
+      log[i].contents.shrink_to_fit();
     }
   }
+  Pass1TransientGauge()->SetMax(static_cast<int64_t>(pass1_transient_peak_bytes_));
   file_locs.resize(file_reports.op_logs.size());
 
   ReportsMergeMap map;
@@ -101,6 +129,8 @@ Status StreamReportsSet::Absorb(StreamReportsSet&& other, const std::string& lab
     }
   }
   total_log_payload_bytes_ += other.total_log_payload_bytes_;
+  pass1_transient_peak_bytes_ =
+      std::max(pass1_transient_peak_bytes_, other.pass1_transient_peak_bytes_);
   other = StreamReportsSet();
   return Status::Ok();
 }

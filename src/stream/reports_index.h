@@ -28,6 +28,7 @@
 #include "src/common/result.h"
 #include "src/core/audit_context.h"
 #include "src/objects/reports.h"
+#include "src/objects/wire_format.h"
 #include "src/stream/chunk_loader.h"
 
 namespace orochi {
@@ -47,10 +48,14 @@ class StreamReportsSet {
  public:
   // Streams `path` (decoding every record through the same validator the in-memory
   // reader uses, then shedding op-log contents) and merges it onto the skeleton via
-  // AppendReports semantics. At most one op-log record's contents are transiently
-  // resident during the pass. Merge-level errors (rid overlap with an earlier file) are
-  // prefixed with `path`; decode errors already name the file. Reads go through `env`
-  // (nullptr = the production posix environment).
+  // AppendReports semantics. At most one record's payload is transiently resident during
+  // the pass — and since v3 writers cap op-log records at wire::kMaxOpLogSegmentBytes,
+  // that transient is bounded by one *segment* even for a hot object (v1/v2 files still
+  // pay one monolithic record). v3 segment records stitch back into the same per-object
+  // entry index monolithic records produce, so everything downstream (loaders, scanners,
+  // planning) is segmentation-blind. Merge-level errors (rid overlap with an earlier
+  // file) are prefixed with `path`; decode errors already name the file. Reads go through
+  // `env` (nullptr = the production posix environment).
   Status AppendFile(const std::string& path, Env* env = nullptr);
 
   // Folds `other` onto this set with AppendReports merge semantics (object-id remap,
@@ -78,11 +83,19 @@ class StreamReportsSet {
   // keep resident on the reports side; the budget bounds the streamed audit below this.
   uint64_t total_log_payload_bytes() const { return total_log_payload_bytes_; }
 
+  // Largest single record payload transiently materialized while indexing — the pass-1
+  // residency the chunk budget cannot see (records are decoded before any loader runs).
+  // With a v3 writer this is bounded by ~wire::kMaxOpLogSegmentBytes + one entry; with a
+  // v1/v2 file it is the largest monolithic op-log record. Also exported as the
+  // orochi_pass1_transient_peak_bytes gauge.
+  uint64_t pass1_transient_peak_bytes() const { return pass1_transient_peak_bytes_; }
+
  private:
   Reports skeleton_;
   std::vector<std::vector<OpLogEntryLoc>> locs_;  // Parallel to skeleton_.op_logs.
   std::vector<std::string> files_;
   uint64_t total_log_payload_bytes_ = 0;
+  uint64_t pass1_transient_peak_bytes_ = 0;
 };
 
 // OpLogScanner over spilled logs: Prepare()'s versioned-store builds (register indexes,
@@ -94,8 +107,9 @@ class SegmentedOpLogScanner : public OpLogScanner {
  public:
   // Forward scans page runs of up to this many frame bytes at once (a single entry
   // larger than this still forms its own one-entry segment, admitted via the budget's
-  // oversized-chunk path).
-  static constexpr uint64_t kSegmentBytes = 64 * 1024;
+  // oversized-chunk path). Deliberately the same cap the v3 writer applies to on-disk
+  // op-log segments, so scan paging and pass-1 transients share one ceiling.
+  static constexpr uint64_t kSegmentBytes = wire::kMaxOpLogSegmentBytes;
 
   SegmentedOpLogScanner(StreamReportsSet* set, ReportsChunkLoader* loader,
                         ChunkBudget* budget)

@@ -190,22 +190,70 @@ class StreamTaskGate : public AuditTaskGate {
   std::unordered_map<size_t, ClaimedChunk> claimed_;
 };
 
+// Wraps the segment-paging scanner with checkpoint journaling: each object whose forward
+// scan completes is recorded as a Prepare watermark, and objects a prior (killed) run
+// already scanned are counted into stats. The store builds are in-memory, so a resumed
+// Prepare must re-scan every object either way — the watermarks journal *progress* (and
+// prove, fingerprint-bound, which scans the killed run retired), they do not skip work.
+class JournalingOpLogScanner : public OpLogScanner {
+ public:
+  JournalingOpLogScanner(OpLogScanner* inner, CheckpointJournal* journal,
+                         AuditStats* stats)
+      : inner_(inner), journal_(journal), stats_(stats) {}
+
+  Status Scan(size_t object,
+              const std::function<Status(const OpRecord&, uint64_t)>& fn) override {
+    if (journal_->PriorPrepareScan(object)) {
+      stats_->prepare_watermarks_reused++;
+    }
+    Status st = inner_->Scan(object, fn);
+    if (st.ok()) {
+      journal_->RecordPrepareScan(object);
+    }
+    return st;
+  }
+  bool io_failed() const override { return inner_->io_failed(); }
+
+ private:
+  OpLogScanner* inner_;
+  CheckpointJournal* journal_;
+  AuditStats* stats_;
+};
+
+// How many responses pass 3 compares between compare-watermark journal appends. Each
+// append is a frame + fsync; every 16 responses keeps resume granularity fine without
+// making the fsync the compare loop's bottleneck.
+constexpr uint64_t kCompareJournalEvery = 16;
+
 // Pass 3: AuditContext::CompareOutputs for an epoch whose skeleton holds no response
 // bodies — page each response body in by itself (a point read via the pass-1 index, so
 // the request payloads, the bulk of the file, are never re-read), run it through the
 // context's shared per-response check so both paths reject with the same reason from the
 // same code, and evict before moving on. Index order is trace order, and each body is
 // charged to the budget while resident, so the resident-byte guarantee covers the
-// compare pass too. *reject_reason carries the audit verdict (empty = outputs match);
-// the Status is file health only.
+// compare pass too. With a journal, responses below the prior run's compare watermark
+// are skipped (their count lands in *resumed) — sound because the fingerprint binds each
+// response payload's CRC and a surviving journal means every compared response matched —
+// and the advancing watermark is journaled every kCompareJournalEvery responses.
+// *reject_reason carries the audit verdict (empty = outputs match); the Status is file
+// health only.
 Status StreamedCompareOutputs(const AuditContext& ctx, StreamTraceSet* set,
                               TraceChunkLoader* loader, ChunkBudget* budget,
+                              CheckpointJournal* journal, uint64_t* resumed,
                               std::string* reject_reason) {
   reject_reason->clear();
+  *resumed = 0;
+  const uint64_t watermark = journal != nullptr ? journal->prior_compare_watermark() : 0;
+  uint64_t responses_seen = 0;
   Trace* skeleton = set->mutable_skeleton();
   for (size_t i = 0; i < set->num_events(); i++) {
     TraceEvent& event = skeleton->events[i];
     if (event.kind != TraceEvent::Kind::kResponse) {
+      continue;
+    }
+    if (responses_seen < watermark) {
+      responses_seen++;
+      (*resumed)++;
       continue;
     }
     const uint64_t bytes = set->loc(i).bytes;
@@ -225,6 +273,10 @@ Status StreamedCompareOutputs(const AuditContext& ctx, StreamTraceSet* set,
     if (!verdict.empty()) {
       *reject_reason = std::move(verdict);
       return Status::Ok();
+    }
+    responses_seen++;
+    if (journal != nullptr && responses_seen % kCompareJournalEvery == 0) {
+      journal->RecordCompareWatermark(responses_seen);
     }
   }
   return Status::Ok();
@@ -271,10 +323,38 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
   ChunkBudget* budget =
       hooks != nullptr && hooks->budget != nullptr ? hooks->budget : &default_budget;
 
+  // Pass-1 transient residency (whole record payloads held while indexing) is outside
+  // the chunk budget's sight; surface the peak so tests and operators can hold it against
+  // the budget. v3 segmented spills bound it by one segment, not one object's log.
+  ctx.stats().pass1_transient_peak_bytes = merged.reports.pass1_transient_peak_bytes();
+
+  // Resumable audit: the sidecar checkpoint journals progress in every phase (Prepare
+  // scan watermarks, pass-2 chunk tasks, the pass-3 compare watermark), so it opens
+  // before Prepare. The fingerprint binds the journal to this exact (epoch content,
+  // audit options) combination — computed from the pass-1 skeletons including payload
+  // CRCs, so a stale, foreign, or tampered-epoch checkpoint contributes nothing. An
+  // unusable checkpoint path is a file-level error — the epoch is unconsumed and
+  // retryable.
+  std::unique_ptr<CheckpointJournal> journal;
+  if (!options_.checkpoint_path.empty()) {
+    Result<std::unique_ptr<CheckpointJournal>> opened = CheckpointJournal::Open(
+        options_.io_env, options_.checkpoint_path,
+        StreamEpochFingerprint(state_, merged.traces, merged.reports, options_));
+    if (!opened.ok()) {
+      epochs_fed_--;
+      return R::Error(opened.error());
+    }
+    journal = std::move(opened).value();
+  }
+
   // The versioned-store builds inside Prepare() consume spilled op-log contents as
-  // budget-bounded segment scans instead of resident logs.
+  // budget-bounded segment scans instead of resident logs; with a journal installed,
+  // completed per-object scans are recorded as Prepare watermarks.
   SegmentedOpLogScanner scanner(&merged.reports, reports_loader, budget);
-  ctx.set_oplog_scanner(&scanner);
+  JournalingOpLogScanner journaling_scanner(&scanner, journal.get(), &ctx.stats());
+  ctx.set_oplog_scanner(journal != nullptr
+                            ? static_cast<OpLogScanner*>(&journaling_scanner)
+                            : static_cast<OpLogScanner*>(&scanner));
   Status prepared;
   {
     obs::TraceSpan span(tracer, obs::Phase::kPrepare);
@@ -283,7 +363,8 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
   if (Status st = prepared; !st.ok()) {
     if (scanner.io_failed()) {
       // Paging a log segment in failed (spill file vanished or changed mid-audit): a
-      // file-level error, not a verdict — the epoch is unconsumed.
+      // file-level error, not a verdict — the epoch is unconsumed. The journal keeps the
+      // Prepare watermarks retired so far for the retry.
       epochs_fed_--;
       return R::Error(st.error());
     }
@@ -291,22 +372,6 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
   }
 
   AuditPlan plan = PlanAuditTasks(&ctx, merged.reports.skeleton(), app_, options_);
-
-  // Resumable pass 2: journal completed chunk tasks to the sidecar checkpoint. The
-  // fingerprint binds the journal to this exact (initial state, plan, audit options)
-  // combination, so a stale or foreign checkpoint contributes nothing. An unusable
-  // checkpoint path is a file-level error — the epoch is unconsumed and retryable.
-  std::unique_ptr<CheckpointJournal> journal;
-  if (!options_.checkpoint_path.empty()) {
-    Result<std::unique_ptr<CheckpointJournal>> opened = CheckpointJournal::Open(
-        options_.io_env, options_.checkpoint_path,
-        CheckpointFingerprint(state_, plan, options_));
-    if (!opened.ok()) {
-      epochs_fed_--;
-      return R::Error(opened.error());
-    }
-    journal = std::move(opened).value();
-  }
   // Once a verdict (accept or reject) is reached the checkpoint is spent: the next audit
   // of this path starts from a different state, and leaving the file would only cost a
   // fingerprint-mismatch discard. Removal failures are therefore ignorable.
@@ -335,9 +400,12 @@ Result<AuditResult> AuditSession::FeedMergedEpochStreamed(MergedShards&& merged,
   {
     ScopedAccumulator t(&ctx.stats().other_seconds);
     obs::TraceSpan span(tracer, obs::Phase::kPass3Compare);
-    if (Status st = StreamedCompareOutputs(ctx, &merged.traces, loader, budget,
-                                           &compare_reason);
-        !st.ok()) {
+    uint64_t resumed = 0;
+    Status st = StreamedCompareOutputs(ctx, &merged.traces, loader, budget, journal.get(),
+                                       &resumed, &compare_reason);
+    ctx.stats().compare_records_resumed += resumed;
+    if (!st.ok()) {
+      // The journal keeps the compare watermark retired so far for the retry.
       epochs_fed_--;
       return R::Error(st.error());
     }

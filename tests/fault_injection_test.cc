@@ -8,9 +8,11 @@
 //   2. Atomic spills (kill-point sweep): crash the writer after every possible write-side
 //      operation; a reader of the spill path always sees the previous complete file or
 //      the new complete file, never a torn prefix.
-//   3. Resumable audits: an audit killed mid-pass-2 with a checkpoint journal resumes to
-//      a bit-identical verdict/reason/final_state at every thread count and budget, and
-//      actually reuses journaled chunks instead of re-executing them.
+//   3. Resumable audits: an audit killed in ANY phase with a checkpoint journal resumes
+//      to a bit-identical verdict/reason/final_state at every thread count and budget,
+//      and actually reuses journaled progress instead of redoing it — pass-2 chunk tasks
+//      (kill mid-pass-2), Prepare scan watermarks (kill mid-Prepare), and the pass-3
+//      compare watermark (kill mid-compare).
 #include <atomic>
 #include <string>
 #include <vector>
@@ -273,6 +275,151 @@ TEST(FaultInjection, ResumeAfterMidAuditKillIsBitIdentical) {
       Result<bool> spent = Env::Default()->FileExists(checkpoint);
       EXPECT_TRUE(spent.ok() && !spent.value());
     }
+  }
+}
+
+// Reports-side twin of KillSwitchLoader: the first `allowed` op-log content loads
+// succeed, then every load fails permanently — which is how a process death lands inside
+// Prepare, whose versioned-store builds page spilled op-log segments through this loader.
+class KillSwitchReportsLoader : public ReportsChunkLoader {
+ public:
+  KillSwitchReportsLoader(const StreamReportsSet* set, uint64_t allowed)
+      : real_(set), allowed_(allowed) {}
+
+  Status Load(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
+              uint64_t count) override {
+    if (loads_.fetch_add(1) >= allowed_) {
+      return Status::Error("io: injected mid-prepare kill at op-log load " +
+                           std::to_string(allowed_));
+    }
+    return real_.Load(set, object, first_seqnum, count);
+  }
+  void Evict(StreamReportsSet* set, size_t object, uint64_t first_seqnum,
+             uint64_t count) override {
+    real_.Evict(set, object, first_seqnum, count);
+  }
+
+ private:
+  FileReportsChunkLoader real_;
+  std::atomic<uint64_t> loads_{0};
+  const uint64_t allowed_;
+};
+
+TEST(FaultInjection, ResumeAfterMidPrepareKillIsBitIdentical) {
+  Workload w = CounterWorkload(160);
+  ServedWorkload served = ServeWorkload(w);
+  const std::string trace_path = ::testing::TempDir() + "/fi_prep_trace.bin";
+  const std::string reports_path = ::testing::TempDir() + "/fi_prep_reports.bin";
+  ASSERT_TRUE(WriteTraceFile(trace_path, served.trace).ok());
+  ASSERT_TRUE(WriteReportsFile(reports_path, served.reports).ok());
+
+  AuditOptions ref_opts;
+  ref_opts.num_threads = 1;
+  ref_opts.max_group_size = 8;
+  AuditSession ref_session = AuditSession::Open(&w.app, ref_opts, served.initial);
+  Result<AuditResult> ref = ref_session.FeedEpochFiles(trace_path, reports_path);
+  ASSERT_TRUE(ref.ok() && ref.value().accepted)
+      << (ref.ok() ? ref.value().reason : ref.error());
+  const std::string ref_fp = InitialStateFingerprint(ref.value().final_state);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string checkpoint =
+        ::testing::TempDir() + "/fi_prep_" + std::to_string(threads) + ".ckpt";
+    AuditOptions opts;
+    opts.num_threads = threads;
+    opts.max_group_size = 8;
+    opts.max_resident_bytes = 4096;
+    opts.checkpoint_path = checkpoint;
+
+    // Run 1: killed mid-Prepare after 8 op-log segment loads — some per-object forward
+    // scans have retired (and journaled their watermarks), the rest never ran.
+    StreamReportsSet probe;
+    ASSERT_TRUE(probe.AppendFile(reports_path).ok());
+    KillSwitchReportsLoader killer(&probe, /*allowed=*/8);
+    StreamAuditHooks hooks;
+    hooks.reports_loader = &killer;
+    AuditSession first = AuditSession::Open(&w.app, opts, served.initial);
+    Result<AuditResult> killed =
+        first.FeedEpochFilesStreamed(trace_path, reports_path, &hooks);
+    ASSERT_FALSE(killed.ok());
+    EXPECT_EQ(ClassifyAuditOutcome(killed), AuditOutcome::kIoError) << killed.error();
+    Result<bool> left = Env::Default()->FileExists(checkpoint);
+    ASSERT_TRUE(left.ok() && left.value());
+
+    // Run 2: clean resume. The stores are in-memory, so Prepare re-scans every object —
+    // but the journaled watermarks must be recognized (the fingerprint still matches)
+    // and the verdict must be bit-identical to the uninterrupted reference.
+    AuditSession resumed = AuditSession::Open(&w.app, opts, served.initial);
+    Result<AuditResult> got = resumed.FeedEpochFilesStreamed(trace_path, reports_path);
+    ASSERT_TRUE(got.ok()) << got.error();
+    EXPECT_TRUE(got.value().accepted) << got.value().reason;
+    EXPECT_EQ(got.value().reason, ref.value().reason);
+    EXPECT_EQ(InitialStateFingerprint(got.value().final_state), ref_fp);
+    EXPECT_GT(got.value().stats.prepare_watermarks_reused, 0u);
+    Result<bool> spent = Env::Default()->FileExists(checkpoint);
+    EXPECT_TRUE(spent.ok() && !spent.value());
+  }
+}
+
+TEST(FaultInjection, ResumeAfterMidCompareKillIsBitIdentical) {
+  Workload w = CounterWorkload(160);
+  ServedWorkload served = ServeWorkload(w);
+  const std::string trace_path = ::testing::TempDir() + "/fi_cmp_trace.bin";
+  const std::string reports_path = ::testing::TempDir() + "/fi_cmp_reports.bin";
+  ASSERT_TRUE(WriteTraceFile(trace_path, served.trace).ok());
+  ASSERT_TRUE(WriteReportsFile(reports_path, served.reports).ok());
+
+  AuditOptions ref_opts;
+  ref_opts.num_threads = 1;
+  ref_opts.max_group_size = 8;
+  AuditSession ref_session = AuditSession::Open(&w.app, ref_opts, served.initial);
+  Result<AuditResult> ref = ref_session.FeedEpochFiles(trace_path, reports_path);
+  ASSERT_TRUE(ref.ok() && ref.value().accepted)
+      << (ref.ok() ? ref.value().reason : ref.error());
+  const std::string ref_fp = InitialStateFingerprint(ref.value().final_state);
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string checkpoint =
+        ::testing::TempDir() + "/fi_cmp_" + std::to_string(threads) + ".ckpt";
+    AuditOptions opts;
+    opts.num_threads = threads;
+    opts.max_group_size = 8;
+    opts.max_resident_bytes = 4096;
+    opts.checkpoint_path = checkpoint;
+
+    // Run 1: killed mid-pass-3. Pass 2 loads each of the 160 request payloads exactly
+    // once; allowing 200 loads retires all of pass 2 (journaling every chunk) and dies
+    // at the 40th response body of the compare pass — past the 32-response compare
+    // watermark the journal recorded.
+    StreamTraceSet probe;
+    ASSERT_TRUE(probe.AppendFile(trace_path).ok());
+    KillSwitchLoader killer(&probe, /*allowed=*/200);
+    StreamAuditHooks hooks;
+    hooks.loader = &killer;
+    AuditSession first = AuditSession::Open(&w.app, opts, served.initial);
+    Result<AuditResult> killed =
+        first.FeedEpochFilesStreamed(trace_path, reports_path, &hooks);
+    ASSERT_FALSE(killed.ok());
+    EXPECT_EQ(ClassifyAuditOutcome(killed), AuditOutcome::kIoError) << killed.error();
+    Result<bool> left = Env::Default()->FileExists(checkpoint);
+    ASSERT_TRUE(left.ok() && left.value());
+
+    // Run 2: clean resume — every pass-2 chunk replays from the journal, the compare
+    // pass skips the responses below the watermark (sound: the fingerprint binds every
+    // response payload's CRC, and a surviving journal means no verdict was reached, so
+    // every compared response matched), and the verdict is bit-identical.
+    AuditSession resumed = AuditSession::Open(&w.app, opts, served.initial);
+    Result<AuditResult> got = resumed.FeedEpochFilesStreamed(trace_path, reports_path);
+    ASSERT_TRUE(got.ok()) << got.error();
+    EXPECT_TRUE(got.value().accepted) << got.value().reason;
+    EXPECT_EQ(got.value().reason, ref.value().reason);
+    EXPECT_EQ(InitialStateFingerprint(got.value().final_state), ref_fp);
+    EXPECT_GT(got.value().stats.checkpoint_chunks_reused, 0u);
+    EXPECT_GT(got.value().stats.compare_records_resumed, 0u);
+    Result<bool> spent = Env::Default()->FileExists(checkpoint);
+    EXPECT_TRUE(spent.ok() && !spent.value());
   }
 }
 

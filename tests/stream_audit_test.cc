@@ -16,11 +16,39 @@
 
 #include "src/core/audit_session.h"
 #include "src/objects/wire_format.h"
+#include "src/obs/metrics.h"
 #include "src/server/tamper.h"
 #include "tests/test_util.h"
 
 namespace orochi {
 namespace {
+
+// Record-level shape of a reports spill file: the largest single record payload (the
+// pass-1 transient residency ceiling) and how many v3 op-log segment records it carries.
+struct ReportsFileShape {
+  uint64_t largest_payload = 0;
+  size_t segment_records = 0;
+};
+
+ReportsFileShape ScanReportsFile(const std::string& path) {
+  ReportsFileShape shape;
+  ReportsRecordReader reader;
+  EXPECT_TRUE(reader.Open(path).ok());
+  uint8_t type = 0;
+  std::string payload;
+  while (true) {
+    Result<bool> next = reader.Next(&type, &payload);
+    EXPECT_TRUE(next.ok()) << next.error();
+    if (!next.ok() || !next.value()) {
+      break;
+    }
+    shape.largest_payload = std::max<uint64_t>(shape.largest_payload, payload.size());
+    if (type == wire::kReportsRecOpLogSegment) {
+      shape.segment_records++;
+    }
+  }
+  return shape;
+}
 
 // One tally shared by the trace- and reports-side counting loaders: a single ChunkBudget
 // admits trace payloads and op-log contents together, so the peak that the budget
@@ -293,7 +321,106 @@ TEST(StreamAudit, TracePlusReportsBytesShareOneBudgetAcrossThreadCounts) {
     // guaranteed under concurrency — another worker can release between a peer's
     // admission and its OnChunkResident).
     EXPECT_LE(tally.peak, budget.peak_bytes()) << threads << " threads";
+
+    // Pass 1 holds whole record payloads transiently while indexing — residency the
+    // chunk budget cannot see. It is still bounded: at most one record, and no record
+    // may exceed the v3 segment cap, so a writer regression that spills an over-cap
+    // monolithic record (or an indexing regression that materializes more than one
+    // record) fails right here, against max(budget, largest actual record).
+    const ReportsFileShape shape = ScanReportsFile(e.reports_path);
+    EXPECT_LE(shape.largest_payload, wire::kMaxOpLogSegmentBytes);
+    const uint64_t transient = got.value().stats.pass1_transient_peak_bytes;
+    EXPECT_GT(transient, 0u);
+    EXPECT_EQ(transient, reports_probe.pass1_transient_peak_bytes());
+    EXPECT_LE(transient, std::max<uint64_t>(kBudget, shape.largest_payload))
+        << threads << " threads";
   }
+}
+
+// The PR-9 acceptance scenario: ONE hot object whose op-log exceeds the v3 segment cap
+// several times over (every request hits the same counter key with an ~800-byte user, so
+// the shared hits-table object's log dwarfs wire::kMaxOpLogSegmentBytes). The writer must
+// split that log across segment records, pass-1 transient residency must be bounded by
+// one *segment* rather than the whole log, and an audit under OROCHI_AUDIT_BUDGET=65536
+// must keep the combined resident bytes at or below max(budget, largest single segment)
+// while staying bit-identical to the in-memory path.
+TEST(StreamAudit, HotObjectSegmentedSpillAuditsWithinOneSegmentTransient) {
+  Workload w;
+  w.name = "hot_counter";
+  w.app = BuildCounterApp();
+  ASSERT_TRUE(
+      w.initial.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)").ok());
+  const std::string pad(800, 'x');
+  for (size_t i = 0; i < 240; i++) {
+    WorkItem item;
+    item.script = (i % 4 == 3) ? "/counter/read" : "/counter/hit";
+    item.params["key"] = "hot";
+    item.params["who"] = "u" + std::to_string(i % 7) + pad;
+    w.items.push_back(std::move(item));
+  }
+  ServedWorkload served = ServeWorkload(w);
+  const std::string trace_path = ::testing::TempDir() + "/stream_hot_trace.bin";
+  const std::string reports_path = ::testing::TempDir() + "/stream_hot_reports.bin";
+  ASSERT_TRUE(WriteTraceFile(trace_path, served.trace).ok());
+  ASSERT_TRUE(WriteReportsFile(reports_path, served.reports).ok());
+
+  // The spill really is segmented, and no record — segment or otherwise — passes the cap.
+  const ReportsFileShape shape = ScanReportsFile(reports_path);
+  ASSERT_GE(shape.segment_records, 2u) << "hot object did not cross the segment cap";
+  ASSERT_LE(shape.largest_payload, wire::kMaxOpLogSegmentBytes);
+
+  // Pass 1 over the segmented file transiently holds one segment, never the whole log.
+  StreamReportsSet reports_probe;
+  ASSERT_TRUE(reports_probe.AppendFile(reports_path).ok());
+  ASSERT_GT(reports_probe.total_log_payload_bytes(), wire::kMaxOpLogSegmentBytes);
+  EXPECT_EQ(reports_probe.pass1_transient_peak_bytes(), shape.largest_payload);
+
+  // Audit with the budget resolved from the environment, exactly as deployed.
+  constexpr uint64_t kHotBudget = 65536;
+  ASSERT_EQ(setenv("OROCHI_AUDIT_BUDGET", "65536", 1), 0);
+  AuditOptions options;
+  options.num_threads = 2;
+  options.max_group_size = 16;  // max_resident_bytes stays 0: the env variable decides.
+
+  AuditSession in_memory = AuditSession::Open(&w.app, options, served.initial);
+  Result<AuditResult> ref = in_memory.FeedEpochFiles(trace_path, reports_path);
+  ASSERT_TRUE(ref.ok()) << ref.error();
+  ASSERT_TRUE(ref.value().accepted) << ref.value().reason;
+
+  AuditSession streamed = AuditSession::Open(&w.app, options, served.initial);
+  StreamTraceSet trace_probe;
+  ASSERT_TRUE(trace_probe.AppendFile(trace_path).ok());
+  ResidencyTally tally;
+  CountingChunkLoader trace_loader(&trace_probe, &tally);
+  CountingReportsLoader reports_loader(&reports_probe, &tally);
+  StreamAuditHooks hooks;
+  hooks.loader = &trace_loader;
+  hooks.reports_loader = &reports_loader;
+  Result<AuditResult> got =
+      streamed.FeedEpochFilesStreamed(trace_path, reports_path, &hooks);
+  ASSERT_EQ(unsetenv("OROCHI_AUDIT_BUDGET"), 0);
+  ASSERT_TRUE(got.ok()) << got.error();
+  EXPECT_TRUE(got.value().accepted) << got.value().reason;
+  EXPECT_EQ(InitialStateFingerprint(got.value().final_state),
+            InitialStateFingerprint(ref.value().final_state));
+
+  // The acceptance bound, on every phase's residency: budget-governed bytes and the
+  // pass-1 transient both stay within max(budget, largest single segment).
+  const uint64_t bound = std::max<uint64_t>(kHotBudget, shape.largest_payload);
+  EXPECT_LE(tally.peak, bound);
+  EXPECT_EQ(tally.resident, 0u);
+  EXPECT_LE(got.value().stats.pass1_transient_peak_bytes, bound);
+  EXPECT_EQ(got.value().stats.pass1_transient_peak_bytes,
+            reports_probe.pass1_transient_peak_bytes());
+
+  // The transient peak is also exported as a gauge for operators; SetMax is monotone, so
+  // the registry's value is at least this audit's peak.
+  EXPECT_GE(obs::MetricsRegistry::Default()
+                ->GetGauge("orochi_pass1_transient_peak_bytes",
+                           "largest record payload transiently resident during pass-1 "
+                           "reports indexing")
+                ->Value(),
+            static_cast<int64_t>(got.value().stats.pass1_transient_peak_bytes));
 }
 
 TEST(StreamAudit, OpLogPointReadsReproduceContentsExactly) {

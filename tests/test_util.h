@@ -4,10 +4,12 @@
 #define TESTS_TEST_UTIL_H_
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "src/common/strings.h"
 #include "src/objects/reports.h"
 #include "src/objects/stores.h"
 #include "src/objects/trace.h"
@@ -48,15 +50,20 @@ inline ServedWorkload ServeWorkload(const Workload& workload, int num_workers = 
 
 // Base seed for randomized sweeps: OROCHI_TEST_SEED when set (decimal or 0x-hex), else
 // `default_seed`. Sweeps derive their per-phase seeds from this base by fixed offsets, so
-// exporting the value a failure printed reruns the exact same schedule.
+// exporting the value a failure printed reruns the exact same schedule. A malformed seed
+// is a config error — silently reverting to the default would rerun the wrong schedule.
 inline uint64_t TestBaseSeed(uint64_t default_seed) {
   const char* env = std::getenv("OROCHI_TEST_SEED");
   if (env == nullptr || *env == '\0') {
     return default_seed;
   }
-  char* end = nullptr;
-  uint64_t v = std::strtoull(env, &end, 0);
-  return (end != nullptr && *end == '\0') ? v : default_seed;
+  Result<uint64_t> parsed = ParseSeed(env);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "config: OROCHI_TEST_SEED='%s' is not a valid seed (%s)\n", env,
+                 parsed.error().c_str());
+    std::exit(2);
+  }
+  return parsed.value();
 }
 
 // gtest SCOPED_TRACE message naming the base seed, so any failing assertion in a seeded

@@ -12,6 +12,7 @@
 //      same error, same verdict, same reason, same final state — so a validator that
 //      drifts between the resident reader and the streaming index shows up here.
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,75 @@ void WriteAll(const std::string& path, const std::string& bytes) {
   ASSERT_NE(f, nullptr) << path;
   ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
   ASSERT_EQ(std::fclose(f), 0);
+}
+
+// Little-endian field accessors for forging exact bytes of a record payload in place.
+uint32_t GetU32At(const std::string& b, size_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; i++) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(b[off + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void PutU32At(std::string* b, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; i++) {
+    (*b)[off + static_cast<size_t>(i)] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint64_t GetU64At(const std::string& b, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(b[off + static_cast<size_t>(i)]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void PutU64At(std::string* b, size_t off, uint64_t v) {
+  for (int i = 0; i < 8; i++) {
+    (*b)[off + static_cast<size_t>(i)] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+// Payload locations of every v3 segmented op-log record in a reports file, in file order.
+struct SegRecLoc {
+  size_t payload;  // Offset of the payload (just past the 13-byte frame).
+  size_t len;      // Payload length.
+};
+
+std::vector<SegRecLoc> FindSegmentRecords(const std::string& bytes) {
+  std::vector<SegRecLoc> out;
+  size_t pos = wire::kEnvelopeHeaderBytes;
+  while (pos + wire::kRecordFrameBytesV2 <= bytes.size()) {
+    uint8_t type = 0;
+    uint64_t len = 0;
+    uint32_t crc = 0;
+    if (!wire::ParseRecordFrameV2(bytes.data() + pos, bytes.size() - pos, &type, &len,
+                                  &crc)) {
+      break;
+    }
+    if (type == wire::kEndRecord) {
+      break;
+    }
+    if (type == wire::kReportsRecOpLogSegment) {
+      out.push_back({pos + wire::kRecordFrameBytesV2, static_cast<size_t>(len)});
+    }
+    pos += wire::kRecordFrameBytesV2 + static_cast<size_t>(len);
+  }
+  return out;
+}
+
+// Re-stamps the frame CRC of the record whose payload begins at `payload_off`, so a
+// forged payload passes the wire layer and reaches the segment validator itself.
+void RestampRecordCrc(std::string* bytes, size_t payload_off, size_t len) {
+  uint32_t crc = Crc32c(bytes->data() + payload_off, len);
+  for (int i = 0; i < 4; i++) {
+    (*bytes)[payload_off - 4 + static_cast<size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
 }
 
 // Flips one payload byte of a random v2 record and re-stamps that record's CRC, so the
@@ -358,6 +428,136 @@ TEST(WireFuzz, StateSnapshotMutationsNeverCrashAndLoadDefensively) {
   }
   EXPECT_GT(read_errors, 40u);
   EXPECT_GT(loaded + read_errors, 0u);
+}
+
+// One-hot-object fixture for the v3 segment sweeps: every request hits the same counter
+// key with a long user string, so the shared `hits` db object's op-log (every statement
+// carries the ~800-byte user) crosses wire::kMaxOpLogSegmentBytes and the spill file
+// carries kReportsRecOpLogSegment records.
+struct SegmentedFixture {
+  Workload w;
+  std::string trace_path;
+  std::string reports_path;
+  Outcome reference;  // The pristine verdict (accepted).
+};
+
+SegmentedFixture BuildSegmentedFixture() {
+  SegmentedFixture fx;
+  fx.w.app = BuildCounterApp();
+  EXPECT_TRUE(
+      fx.w.initial.db.ExecuteText("CREATE TABLE hits (key TEXT, who TEXT, n INT)").ok());
+  const std::string dir = ::testing::TempDir();
+  fx.trace_path = dir + "/seg_trace.bin";
+  fx.reports_path = dir + "/seg_reports.bin";
+
+  ServerCore core(&fx.w.app, fx.w.initial, ServerOptions{.record_reports = true});
+  Collector collector;
+  {
+    ThreadServer server(&core, &collector, /*num_workers=*/4);
+    const std::string pad(800, 'x');
+    RequestId rid = 1;
+    for (size_t i = 0; i < 240; i++) {
+      RequestParams params;
+      params["key"] = "hot";
+      params["who"] = "u" + std::to_string(i % 7) + pad;
+      server.Submit(rid++, (i % 4 == 3) ? "/counter/read" : "/counter/hit", params);
+    }
+    server.Drain();
+  }
+  EXPECT_TRUE(collector.Flush(fx.trace_path).ok());
+  EXPECT_TRUE(core.ExportReports(fx.reports_path).ok());
+
+  AuditSession session = AuditSession::Open(&fx.w.app, FuzzOptions(), fx.w.initial);
+  fx.reference = FromFeed(session.FeedEpochFilesStreamed(fx.trace_path, fx.reports_path));
+  EXPECT_TRUE(fx.reference.accepted) << fx.reference.reason << fx.reference.error;
+  return fx;
+}
+
+// Forges exact segment-prefix fields — duplicate segment_seq, out-of-order segment_seq,
+// overlapping entry range, redirected object id — with the record CRC re-stamped, so each
+// forgery passes every wire-level check and the segment validator itself must catch it.
+// Both readers must reject (never crash, never falsely accept) and classify identically.
+TEST(WireFuzz, SegmentedOpLogPrefixForgeriesRejectIdenticallyOnBothPaths) {
+  SegmentedFixture fx = BuildSegmentedFixture();
+  const std::string pristine = ReadAll(fx.reports_path);
+  std::vector<SegRecLoc> segs = FindSegmentRecords(pristine);
+  ASSERT_GE(segs.size(), 2u) << "fixture must spill at least two v3 segments";
+  // Prefix layout (relative to the payload): u32 object @0, u32 segment_seq @4,
+  // u64 first_seqnum @8, u64 count @16. All forgeries edit the SECOND segment, so the
+  // validator has per-object sequencing state to check against.
+  const size_t p0 = segs[0].payload;
+  const size_t p1 = segs[1].payload;
+
+  struct Forgery {
+    const char* name;
+    std::function<void(std::string*)> apply;
+  };
+  const std::vector<Forgery> forgeries = {
+      {"duplicate segment_seq",
+       [&](std::string* b) { PutU32At(b, p1 + 4, GetU32At(*b, p0 + 4)); }},
+      {"out-of-order segment_seq",
+       [&](std::string* b) { PutU32At(b, p1 + 4, GetU32At(*b, p1 + 4) + 1); }},
+      {"overlapping entry range",
+       [&](std::string* b) { PutU64At(b, p1 + 8, GetU64At(*b, p1 + 8) - 1); }},
+      {"wrong object (existing)",
+       [&](std::string* b) {
+         uint32_t object = GetU32At(*b, p1);
+         PutU32At(b, p1, object == 0 ? 1 : 0);
+       }},
+      {"wrong object (unknown)",
+       [&](std::string* b) { PutU32At(b, p1, 0xfffffffeu); }},
+  };
+
+  const std::string mutated_path = ::testing::TempDir() + "/seg_forged_reports.bin";
+  for (const Forgery& forgery : forgeries) {
+    std::string bytes = pristine;
+    forgery.apply(&bytes);
+    RestampRecordCrc(&bytes, segs[1].payload, segs[1].len);
+    WriteAll(mutated_path, bytes);
+
+    AuditSession streamed = AuditSession::Open(&fx.w.app, FuzzOptions(), fx.w.initial);
+    Outcome got = FromFeed(streamed.FeedEpochFilesStreamed(fx.trace_path, mutated_path));
+    EXPECT_FALSE(got.accepted) << forgery.name;
+    EXPECT_TRUE(got.file_error) << forgery.name
+                                << ": a forged segment prefix must fail the read";
+    EXPECT_FALSE(got.error.empty()) << forgery.name;
+
+    AuditSession in_memory = AuditSession::Open(&fx.w.app, FuzzOptions(), fx.w.initial);
+    Outcome mem = FromFeed(in_memory.FeedEpochFiles(fx.trace_path, mutated_path));
+    EXPECT_TRUE(mem == got) << forgery.name << ": streamed {" << got.error << "} vs "
+                            << "in-memory {" << mem.error << "}";
+  }
+}
+
+// The generic mutation sweep pointed at a reports file that actually contains v3
+// segments, so random flips/truncations/CRC-fixed flips land inside segment records and
+// their prefixes too. Same contract as the main sweep: never crash, never falsely
+// accept, and the streamed and in-memory readers classify every mutation identically.
+TEST(WireFuzz, SegmentedReportsMutationsNeverCrashAndNeverFalselyAccept) {
+  SegmentedFixture fx = BuildSegmentedFixture();
+  const std::string pristine = ReadAll(fx.reports_path);
+  ASSERT_GE(FindSegmentRecords(pristine).size(), 2u);
+  const std::string mutated_path = ::testing::TempDir() + "/seg_mut_reports.bin";
+  const uint64_t base_seed = TestBaseSeed(0x5EED0000);
+  SCOPED_TRACE(SeedTraceMessage(base_seed));
+  Rng rng(base_seed + 5);
+  SweepTally tally;
+  for (int i = 0; i < 48; i++) {
+    std::string label;
+    WriteAll(mutated_path, Mutate(pristine, &rng, &label));
+    const std::string what = "segmented-reports " + label;
+
+    AuditSession streamed = AuditSession::Open(&fx.w.app, FuzzOptions(), fx.w.initial);
+    Outcome got = FromFeed(streamed.FeedEpochFilesStreamed(fx.trace_path, mutated_path));
+    CheckOutcomeAgainstReference(got, fx.reference, what + " (streamed)", &tally);
+
+    AuditSession in_memory = AuditSession::Open(&fx.w.app, FuzzOptions(), fx.w.initial);
+    Outcome mem = FromFeed(in_memory.FeedEpochFiles(fx.trace_path, mutated_path));
+    EXPECT_TRUE(mem == got) << what << ": streamed {" << got.error << "|" << got.reason
+                            << "} vs in-memory {" << mem.error << "|" << mem.reason
+                            << "}";
+  }
+  EXPECT_GT(tally.errors, 5u);
 }
 
 }  // namespace
