@@ -7,6 +7,7 @@
 #include <string>
 #include <thread>
 
+#include "src/common/crc32c.h"
 #include "src/common/strings.h"
 #include "src/common/timer.h"
 #include "src/objects/reports.h"
@@ -49,10 +50,12 @@ inline std::string BenchMetaJson() {
 #else
   const char* build = "debug";
 #endif
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof(buf),
-                "{\"hardware_threads\": %u, \"bench_scale\": %.3f, \"build\": \"%s\"}",
-                std::thread::hardware_concurrency(), BenchScale(), build);
+                "{\"hardware_threads\": %u, \"bench_scale\": %.3f, \"build\": \"%s\", "
+                "\"crc32c_backend\": \"%s\"}",
+                std::thread::hardware_concurrency(), BenchScale(), build,
+                Crc32cBackendName());
   return buf;
 }
 

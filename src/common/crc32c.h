@@ -1,6 +1,13 @@
-// CRC32C (Castagnoli) — the per-record checksum of wire format v2. Software
-// table-driven implementation; no hardware dependency so spill files verify
-// identically on every host the verifier runs on.
+// CRC32C (Castagnoli) — the per-record checksum of wire format v2+, the frame checksum
+// of the net transport, and the record checksum of checkpoint sidecars; one definition
+// shared by all three so a value computed by any writer verifies under any reader.
+//
+// The implementation (crc32c.cc) dispatches at first use: SSE4.2 _mm_crc32_u64 on x86-64,
+// the ARMv8 crc32c instructions on aarch64, and slice-by-8 tables everywhere else. Every
+// backend computes the same polynomial (0x82f63b78, reflected) bit-identically — spill
+// files, frames, and checkpoints verify identically on every host the verifier runs on,
+// hardware acceleration only changes the cycle count. tests/crc32c_test.cc pins all
+// backends to the RFC 3720 golden vectors and to each other.
 #ifndef SRC_COMMON_CRC32C_H_
 #define SRC_COMMON_CRC32C_H_
 
@@ -10,41 +17,32 @@
 
 namespace orochi {
 
-namespace crc32c_internal {
-
-inline const uint32_t* Table() {
-  static const auto* table = [] {
-    auto* t = new uint32_t[256];
-    for (uint32_t i = 0; i < 256; i++) {
-      uint32_t crc = i;
-      for (int k = 0; k < 8; k++) {
-        crc = (crc >> 1) ^ ((crc & 1) ? 0x82f63b78u : 0u);
-      }
-      t[i] = crc;
-    }
-    return t;
-  }();
-  return table;
-}
-
-}  // namespace crc32c_internal
-
 // Extends a running CRC32C over `n` more bytes. Start (and finish) with `crc = 0`;
 // the pre/post inversion is handled internally so values chain:
 //   Crc32c(a+b) == Crc32cExtend(Crc32c(a), b).
-inline uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n) {
-  const uint32_t* table = crc32c_internal::Table();
-  crc = ~crc;
-  const auto* p = reinterpret_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < n; i++) {
-    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
-  }
-  return ~crc;
-}
+uint32_t Crc32cExtend(uint32_t crc, const char* data, size_t n);
 
 inline uint32_t Crc32c(const char* data, size_t n) { return Crc32cExtend(0, data, n); }
 
 inline uint32_t Crc32c(const std::string& s) { return Crc32c(s.data(), s.size()); }
+
+// Which implementation runtime dispatch selected for this process: "sse4.2",
+// "armv8-crc", or "software". Stamped into bench meta blocks so recorded numbers say
+// what hardware path produced them.
+const char* Crc32cBackendName();
+
+namespace crc32c_internal {
+
+// The portable slice-by-8 reference, always available; the golden-vector test holds the
+// dispatched implementation to this one on random inputs.
+uint32_t ExtendSoftware(uint32_t crc, const char* data, size_t n);
+
+// True when the CPU offers an accelerated path (and it was compiled in).
+bool HardwareAvailable();
+// The accelerated path; only callable when HardwareAvailable().
+uint32_t ExtendHardware(uint32_t crc, const char* data, size_t n);
+
+}  // namespace crc32c_internal
 
 }  // namespace orochi
 

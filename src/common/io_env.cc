@@ -227,6 +227,27 @@ Env* Env::Default() {
   return env;
 }
 
+namespace {
+
+// The base Env's StartReadAt services the read inline, so Wait() just reports what
+// already happened. The seam is the point: all chunk-loader reads flow through it, so an
+// env with a real submission queue overlaps them without touching the loaders.
+class CompletedRead : public PendingRead {
+ public:
+  explicit CompletedRead(Status st) : st_(std::move(st)) {}
+  Status Wait() override { return st_; }
+
+ private:
+  const Status st_;
+};
+
+}  // namespace
+
+std::unique_ptr<PendingRead> Env::StartReadAt(ReadableFile* file, const std::string& path,
+                                              uint64_t offset, size_t n, char* buf) {
+  return std::make_unique<CompletedRead>(ReadFullAt(file, path, offset, n, buf));
+}
+
 std::string MakeTransientIoError(const std::string& detail) {
   return kTransientPrefix + detail;
 }

@@ -42,11 +42,32 @@ class WritableFile {
   virtual Status Close() = 0;
 };
 
+// Handle for an in-flight StartReadAt. Wait() blocks until the read completes and
+// returns its status — exactly ReadFullAt's contract: all `n` bytes or an error naming
+// file and offset, transient faults already retried with bounded backoff.
+class PendingRead {
+ public:
+  virtual ~PendingRead() = default;
+  virtual Status Wait() = 0;
+};
+
 class Env {
  public:
   virtual ~Env() = default;
 
   virtual Result<std::unique_ptr<ReadableFile>> OpenRead(const std::string& path) = 0;
+
+  // Begins reading exactly `n` bytes of `file` at `offset` into `buf` (`path` labels
+  // errors); `buf` must stay valid until Wait() returns. The base implementation
+  // services the read inline — in the audit pipeline the caller is either a pass-2
+  // worker or the prefetcher's dedicated I/O thread (src/stream/prefetch.h), so "async"
+  // means "off the worker threads", and a wrapping FaultInjectingEnv's schedule fires at
+  // the same deterministic operation index either way because the read still goes
+  // through the file handle the env handed out. An env with a real submission queue can
+  // override this to overlap reads.
+  virtual std::unique_ptr<PendingRead> StartReadAt(ReadableFile* file,
+                                                   const std::string& path,
+                                                   uint64_t offset, size_t n, char* buf);
   // Creates (or truncates) `path` for writing.
   virtual Result<std::unique_ptr<WritableFile>> OpenWrite(const std::string& path) = 0;
   // Opens `path` for appending, creating it if absent.

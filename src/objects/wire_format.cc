@@ -441,7 +441,9 @@ void EnumerateReportsRecords(const Reports& reports, bool nondet_only,
         const size_t count_pos = payload.size();
         PutU64(&payload, 0);  // Entry count, patched once the segment is sealed.
         uint64_t count = 0;
-        uint64_t entry_bytes = 0;
+        // The cap bounds the whole record payload a reader must hold resident, so the
+        // segment preamble written above counts against it too — not just entry bytes.
+        uint64_t entry_bytes = payload.size();
         while (next < log.size()) {
           const OpRecord& op = log[next];
           const uint64_t one = kOpLogEntryMinBytes + op.contents.size();

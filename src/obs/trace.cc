@@ -12,8 +12,8 @@ namespace {
 
 // Chrome-trace (and the metric-name suffixes) want stable lowercase identifiers.
 constexpr const char* kPhaseNames[kNumPhases] = {
-    "shard_merge",       "pass1_skeleton",    "prepare",
-    "pass2_execute",     "checkpoint_replay", "pass3_compare",
+    "shard_merge",    "pass1_skeleton",    "prepare",       "pass2_io_wait",
+    "pass2_execute",  "checkpoint_replay", "pass3_compare",
 };
 
 // Stable small integer per thread for chrome-trace "tid" fields.

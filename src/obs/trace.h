@@ -36,11 +36,13 @@ enum class Phase : int {
   kShardMerge = 0,       // Merge-join of shard spill pairs (FeedShardedEpoch).
   kPass1Skeleton,        // Streaming trace/reports files into skeletons + offset indexes.
   kPrepare,              // Report processing + versioned-store builds (Figure 9's first two).
+  kPass2IoWait,          // Worker time blocked in the chunk gate paging bytes in (budget
+                         // waits + preads the prefetcher did not hide).
   kPass2Execute,         // One span per re-executed group chunk (grouped re-execution).
   kCheckpointReplay,     // Journaled chunks replayed instead of re-executed on resume.
   kPass3Compare,         // Produced-output vs. trace comparison.
 };
-inline constexpr int kNumPhases = 6;
+inline constexpr int kNumPhases = 7;
 const char* PhaseName(Phase phase);
 
 // Per-phase wall seconds + span counts. For one epoch this is the phase-decomposition

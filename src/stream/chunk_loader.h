@@ -24,6 +24,7 @@
 namespace orochi {
 
 class StreamReportsSet;  // Spilled per-object op-log index (src/stream/reports_index.h).
+struct AuditTask;        // One pass-2 chunk of the audit plan (src/core/audit_plan.h).
 
 // Budget (bytes) an AuditOptions resolves to for streamed audits: max_resident_bytes when
 // nonzero, else the OROCHI_AUDIT_BUDGET environment variable, else 0 (unlimited). A set
@@ -39,6 +40,12 @@ class ChunkBudget {
   // -chunk exception; also the unlimited case when max == 0 never blocks). Progress is
   // guaranteed because holders never block on the budget between Acquire and Release.
   void Acquire(uint64_t bytes);
+  // Non-blocking Acquire under the same admission rule (oversized solo-admission
+  // included). The prefetch pipeline holds bytes that CAN park between acquire and
+  // release (a ready chunk waiting for its worker), so it must never sleep inside the
+  // budget — it TryAcquires and waits on its own progress signal instead
+  // (src/stream/prefetch.h).
+  bool TryAcquire(uint64_t bytes);
   void Release(uint64_t bytes);
 
   uint64_t max_bytes() const { return max_; }
@@ -58,6 +65,14 @@ class ChunkBudget {
   uint64_t largest_acquire_ = 0;
 };
 
+// Adjacent point reads (one chunk's trace payloads, one run's op-log entries) coalesce
+// into single preads when the file gap between them is at most this many bytes — sized
+// to bridge v3 op-log segment framing (a 13-byte record frame + 24-byte segment
+// preamble separates entries that v1/v2 wrote contiguously) with margin, while never
+// dragging in a meaningful stretch of unrelated bytes. Gap bytes are read and discarded;
+// only payload bytes are ever charged to the budget.
+inline constexpr uint64_t kCoalesceGapBytes = 256;
+
 // Pages individual trace-event payloads in and out of the pass-1 skeleton. Load/Evict
 // calls for one event always come from the thread running that event's chunk, and chunks
 // partition the rids, so implementations need no per-event locking — only whatever guards
@@ -70,6 +85,13 @@ class TraceChunkLoader {
   // Reads event `index`'s payload from its spill file and installs it into the skeleton
   // event (request params / response body).
   virtual Status Load(const StreamTraceSet& set, size_t index, TraceEvent* event) = 0;
+  // Loads a whole chunk's events in one call. On error, everything the call had already
+  // installed is evicted again before it returns (the skeleton is left clean for these
+  // indexes). The default forwards to Load one event at a time; FileTraceChunkLoader
+  // overrides it to sort the events by file offset and merge adjacent payload reads
+  // (gap ≤ kCoalesceGapBytes) into single preads.
+  virtual Status LoadBatch(const StreamTraceSet& set, const std::vector<size_t>& indexes,
+                           Trace* skeleton);
   // Drops the payload again, returning the event to skeleton form.
   virtual void Evict(const StreamTraceSet& set, size_t index, TraceEvent* event) = 0;
 
@@ -96,9 +118,19 @@ class FileTraceChunkLoader : public TraceChunkLoader {
   FileTraceChunkLoader& operator=(const FileTraceChunkLoader&) = delete;
 
   Status Load(const StreamTraceSet& set, size_t index, TraceEvent* event) override;
+  // One pread per file-adjacent span of the chunk's payloads (gap ≤ kCoalesceGapBytes),
+  // instead of one per event; each payload still verifies against its pass-1 CRC before
+  // it is decoded and installed.
+  Status LoadBatch(const StreamTraceSet& set, const std::vector<size_t>& indexes,
+                   Trace* skeleton) override;
   void Evict(const StreamTraceSet& set, size_t index, TraceEvent* event) override;
 
  private:
+  Result<std::shared_ptr<ReadableFile>> OpenFile(const StreamTraceSet& set, uint32_t file);
+  // CRC-checks, decodes, and installs one event's payload bytes.
+  Status InstallPayload(const StreamTraceSet& set, size_t index, TraceEvent* event,
+                        const char* payload, size_t n);
+
   Env* const env_;
   std::mutex mu_;  // Guards files_ (lazy opens); reads themselves are lock-free.
   std::vector<std::shared_ptr<ReadableFile>> files_;  // null = not yet opened.
@@ -156,6 +188,28 @@ class FileReportsChunkLoader : public ReportsChunkLoader {
   Env* const env_;
   std::mutex mu_;  // Guards files_ (lazy opens); reads themselves are lock-free.
   std::vector<std::shared_ptr<ReadableFile>> files_;  // null = not yet opened.
+};
+
+// A chunk-granular surface over both File loaders, consumed by the pass-2 prefetch
+// pipeline (src/stream/prefetch.h). The stream session's task gate implements it — the
+// gate owns the (rid, opnum) claim walk that knows which trace payloads and op-log runs
+// a task needs — and the prefetcher drives it from its I/O thread: price the admission,
+// page everything in, drop it again on revocation. The budget is deliberately NOT this
+// surface's business: the prefetcher charges/refunds the shared ChunkBudget itself so
+// ownership of the charge can transfer to the adopting worker without a release/reacquire
+// window.
+class PrefetchableLoader {
+ public:
+  virtual ~PrefetchableLoader() = default;
+
+  // The task's admission price: resident trace payload + op-log content bytes.
+  virtual uint64_t ChunkBytes(const AuditTask& task) = 0;
+  // Pages the task's payloads and contents into the skeletons (residency brackets
+  // included). On error the skeletons are left clean for this task — a later synchronous
+  // load must see exactly what a never-prefetched run would.
+  virtual Status FetchChunk(const AuditTask& task) = 0;
+  // Undoes a successful FetchChunk (eviction + residency brackets, no budget).
+  virtual void DropChunk(const AuditTask& task) = 0;
 };
 
 }  // namespace orochi

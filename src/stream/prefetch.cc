@@ -1,0 +1,283 @@
+#include "src/stream/prefetch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "src/common/strings.h"
+#include "src/obs/metrics.h"
+
+namespace orochi {
+
+namespace {
+
+struct PrefetchMetrics {
+  obs::Counter* issued;
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* revoked;
+  obs::Counter* bytes;
+  obs::Histogram* wait_seconds;
+
+  static PrefetchMetrics* Get() {
+    static PrefetchMetrics* const m = [] {
+      auto* registry = obs::MetricsRegistry::Default();
+      auto* out = new PrefetchMetrics();
+      out->issued = registry->GetCounter("orochi_prefetch_issued_total",
+                                         "chunks the prefetch I/O thread fetched ahead");
+      out->hits = registry->GetCounter(
+          "orochi_prefetch_hits_total",
+          "gate acquires served from an already-prefetched chunk");
+      out->misses = registry->GetCounter(
+          "orochi_prefetch_misses_total",
+          "gate acquires that loaded synchronously (walk not there, ceded, or revoked)");
+      out->revoked = registry->GetCounter(
+          "orochi_prefetch_revoked_total",
+          "prefetched chunks dropped to refund budget to a starved worker");
+      out->bytes = registry->GetCounter("orochi_prefetch_bytes_total",
+                                        "payload bytes fetched ahead of the workers");
+      out->wait_seconds = registry->GetHistogram(
+          "orochi_prefetch_wait_seconds",
+          "time a worker waited on its own chunk's in-flight prefetch read",
+          {0.0001, 0.001, 0.01, 0.1, 1, 10});
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+Result<size_t> ResolvePrefetchDepth(const AuditOptions& options) {
+  if (options.prefetch_depth != AuditOptions::kPrefetchDepthAuto) {
+    return options.prefetch_depth;
+  }
+  if (const char* env = std::getenv("OROCHI_PREFETCH_DEPTH")) {
+    Result<uint64_t> v = ParseUint64(env);
+    if (!v.ok()) {
+      // A malformed depth must not silently pick some read-ahead: it is a config error.
+      return Result<size_t>::Error("config: OROCHI_PREFETCH_DEPTH='" + std::string(env) +
+                                   "' is not a valid read-ahead depth (" + v.error() +
+                                   ")");
+    }
+    return static_cast<size_t>(v.value());  // 0 keeps its documented meaning: off.
+  }
+  return kDefaultPrefetchDepth;
+}
+
+ChunkPrefetcher::ChunkPrefetcher(PrefetchableLoader* loader, ChunkBudget* budget,
+                                 std::vector<const AuditTask*> order, size_t depth,
+                                 AuditTaskJournal* journal)
+    : loader_(loader),
+      budget_(budget),
+      order_(std::move(order)),
+      depth_(depth),
+      journal_(journal) {
+  slots_.resize(order_.size());
+  for (size_t i = 0; i < order_.size(); i++) {
+    slots_[i].task = order_[i];
+    by_order_[order_[i]->order] = i;
+  }
+}
+
+ChunkPrefetcher::~ChunkPrefetcher() { Stop(); }
+
+void ChunkPrefetcher::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  thread_ = std::thread(&ChunkPrefetcher::ThreadMain, this);
+}
+
+void ChunkPrefetcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return;  // Already stopped and drained.
+    }
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  // The walk has joined and the workers are done (Stop runs after ExecuteAuditPlan), so
+  // anything still kReady was fetched but never claimed — drop it and refund its budget
+  // before pass 3 (or a bare sync path) reuses the byte headroom.
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!ready_.empty()) {
+    DropReadySlotLocked();
+  }
+}
+
+ChunkPrefetcher::TakeResult ChunkPrefetcher::Take(size_t task_order, Status* status) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = by_order_.find(task_order);
+  if (it == by_order_.end()) {
+    return TakeResult::kNotPrefetched;  // Serial tasks are never in the walk.
+  }
+  Slot& slot = slots_[it->second];
+  if (slot.state == SlotState::kPending) {
+    // The worker beat the walk here; cede the slot so the walk never fetches a chunk
+    // whose skeleton entries a worker already owns.
+    slot.state = SlotState::kCeded;
+    BumpProgressLocked();
+    cv_.notify_all();
+    stats_.misses++;
+    PrefetchMetrics::Get()->misses->Inc();
+    return TakeResult::kNotPrefetched;
+  }
+  if (slot.state == SlotState::kFetching) {
+    const auto wait_start = std::chrono::steady_clock::now();
+    cv_.wait(lock, [&] { return slot.state != SlotState::kFetching; });
+    PrefetchMetrics::Get()->wait_seconds->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wait_start)
+            .count());
+  }
+  switch (slot.state) {
+    case SlotState::kReady: {
+      slot.state = SlotState::kTaken;
+      ready_.erase(std::find(ready_.begin(), ready_.end(), it->second));
+      outstanding_--;
+      stats_.hits++;
+      PrefetchMetrics::Get()->hits->Inc();
+      BumpProgressLocked();
+      cv_.notify_all();
+      return TakeResult::kAdopted;
+    }
+    case SlotState::kFailed:
+      *status = slot.status;
+      return TakeResult::kFailed;
+    default:
+      // kRevoked (dropped for budget) — reload synchronously like a never-fetched chunk.
+      stats_.misses++;
+      PrefetchMetrics::Get()->misses->Inc();
+      return TakeResult::kNotPrefetched;
+  }
+}
+
+void ChunkPrefetcher::AcquireBudgetRevoking(uint64_t bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Capture the generation BEFORE TryAcquire: any release that lands after the capture
+    // bumps it, so the wait below can never miss the wakeup for the headroom it needs.
+    const uint64_t gen = progress_gen_;
+    if (budget_->TryAcquire(bytes)) {
+      return;
+    }
+    if (RevokeOneLocked(lock)) {
+      continue;  // Refunded some read-ahead; retry immediately.
+    }
+    // Every remaining holder drains on its own: executing workers release at their gate
+    // Release (NotifyProgress), and the at-most-one mid-fetch chunk completes into a
+    // revocable kReady (the completion bumps the generation too).
+    cv_.wait(lock, [&] { return progress_gen_ != gen; });
+  }
+}
+
+void ChunkPrefetcher::NotifyProgress() {
+  std::lock_guard<std::mutex> lock(mu_);
+  BumpProgressLocked();
+  cv_.notify_all();
+}
+
+PrefetchStats ChunkPrefetcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ChunkPrefetcher::DropReadySlotLocked() {
+  // Farthest-ahead first: the chunk whose worker is longest away loses its read-ahead.
+  const size_t idx = ready_.back();
+  ready_.pop_back();
+  Slot& slot = slots_[idx];
+  // Evict while holding mu_: the slot's worker cannot observe kRevoked (and start a
+  // synchronous reload of the same skeleton entries) until the eviction has finished.
+  loader_->DropChunk(*slot.task);
+  budget_->Release(slot.bytes);
+  slot.state = SlotState::kRevoked;
+  outstanding_--;
+  BumpProgressLocked();
+  cv_.notify_all();
+}
+
+bool ChunkPrefetcher::RevokeOneLocked(std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  if (ready_.empty()) {
+    return false;
+  }
+  DropReadySlotLocked();
+  stats_.revoked++;
+  PrefetchMetrics::Get()->revoked->Inc();
+  return true;
+}
+
+void ChunkPrefetcher::ThreadMain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (size_t i = 0; i < slots_.size() && !stop_; i++) {
+    Slot& slot = slots_[i];
+    if (slot.state != SlotState::kPending) {
+      continue;  // Ceded: its worker got here first.
+    }
+    if (journal_ != nullptr && journal_->Lookup(slot.task->order) != nullptr) {
+      slot.state = SlotState::kCeded;  // Replays from the checkpoint; never hits the gate.
+      continue;
+    }
+    // Depth window: at most depth_ chunks in {kFetching, kReady} at once.
+    cv_.wait(lock, [&] {
+      return stop_ || outstanding_ < depth_ || slot.state != SlotState::kPending;
+    });
+    if (stop_ || slot.state != SlotState::kPending) {
+      continue;
+    }
+    const AuditTask* task = slot.task;
+    lock.unlock();
+    const uint64_t bytes = loader_->ChunkBytes(*task);
+    lock.lock();
+    // Budget admission: TryAcquire and wait on the progress generation — never sleep
+    // inside the budget, whose progress guarantee our parked kReady bytes don't honor.
+    bool admitted = false;
+    while (!stop_ && slot.state == SlotState::kPending) {
+      const uint64_t gen = progress_gen_;
+      if (budget_->TryAcquire(bytes)) {
+        admitted = true;
+        break;
+      }
+      cv_.wait(lock, [&] {
+        return stop_ || progress_gen_ != gen || slot.state != SlotState::kPending;
+      });
+    }
+    if (!admitted) {
+      continue;  // Stopped, or the worker ceded the slot while we waited for headroom.
+    }
+    slot.state = SlotState::kFetching;
+    slot.bytes = bytes;
+    outstanding_++;
+    lock.unlock();
+    Status st = loader_->FetchChunk(*task);
+    lock.lock();
+    if (st.ok()) {
+      slot.state = SlotState::kReady;
+      ready_.push_back(i);  // i ascends, so ready_ stays sorted.
+      stats_.issued++;
+      stats_.bytes += bytes;
+      PrefetchMetrics::Get()->issued->Inc();
+      PrefetchMetrics::Get()->bytes->Inc(bytes);
+    } else {
+      // The failure surfaces at this task's gate Acquire via Take — same task order as a
+      // synchronous load's failure, so the smallest-order-wins rule sees no difference.
+      slot.state = SlotState::kFailed;
+      slot.status = st;
+      budget_->Release(bytes);
+      outstanding_--;
+    }
+    BumpProgressLocked();
+    cv_.notify_all();
+  }
+}
+
+}  // namespace orochi

@@ -1,0 +1,154 @@
+// Budget-aware read-ahead for pass 2 of the streamed audit: a dedicated I/O thread walks
+// the plan's pool dispatch order (PoolDispatchOrder — costliest-first when the pool is
+// parallel, plan order otherwise) ahead of the workers, admits up to `depth` future
+// chunks through the SAME ChunkBudget the workers use, and pages their trace payloads +
+// op-log contents in, so a worker claiming chunk N finds its bytes already resident and
+// spends its time re-executing instead of blocked on preads.
+//
+// Invariants the pipeline must not bend:
+//   - One budget, one ceiling. Prefetched bytes are charged to the worker budget before
+//     a single byte is read; peak residency stays ≤ max(budget, largest admission). A
+//     prefetched chunk bigger than the whole budget rides the same oversized-chunk
+//     solo-admission arm a worker's would.
+//   - Verdict determinism. The prefetcher only moves *when* bytes become resident. A
+//     chunk's load error surfaces at that chunk's gate Acquire — the same task order, the
+//     same smallest-order-wins failure rule — so verdict/reason/final_state are
+//     bit-identical at every (thread count × budget × depth), depth 0 included.
+//   - No deadlock against the budget. The budget's progress guarantee ("holders never
+//     block between Acquire and Release") does not cover a ready-but-unclaimed prefetched
+//     chunk, so the prefetcher's holdings are *revocable*: a worker that needs budget for
+//     a non-prefetched chunk revokes ready chunks (dropping their bytes, refunding the
+//     budget) instead of sleeping behind them, and the prefetcher itself only ever
+//     TryAcquires. At most one chunk is ever mid-fetch (the walk is serial), Take() only
+//     blocks on that one, and every completion / adoption / revocation / gate release
+//     bumps a progress generation that wakes all budget waiters — so some holder always
+//     drains: executing workers release, the in-flight fetch completes into a revocable
+//     state, and revocable chunks yield to whoever is starved.
+//
+// Serial tasks (duplicate-claim chunks, run after the pool joins) are deliberately not
+// prefetched: their rids overlap pool chunks, and fetching them early would write the
+// same skeleton entries a pool worker still owns.
+#ifndef SRC_STREAM_PREFETCH_H_
+#define SRC_STREAM_PREFETCH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/core/audit_context.h"
+#include "src/core/audit_plan.h"
+#include "src/stream/chunk_loader.h"
+
+namespace orochi {
+
+// Read-ahead depth a streamed audit resolves to: AuditOptions::prefetch_depth when not
+// kPrefetchDepthAuto, else the OROCHI_PREFETCH_DEPTH environment variable, else
+// kDefaultPrefetchDepth. 0 disables the pipeline. A set but malformed environment value
+// is a hard configuration error, never a silent fallback — same contract as
+// ResolveAuditBudget / ResolveAuditThreads.
+inline constexpr size_t kDefaultPrefetchDepth = 2;
+Result<size_t> ResolvePrefetchDepth(const AuditOptions& options);
+
+// Final counters of one audit's prefetch pipeline; mirrored into the process-wide
+// registry as orochi_prefetch_*_total and surfaced per-run via
+// StreamAuditHooks::prefetch_stats.
+struct PrefetchStats {
+  uint64_t issued = 0;   // Chunks the I/O thread fetched to completion.
+  uint64_t hits = 0;     // Gate acquires served from a prefetched chunk.
+  uint64_t misses = 0;   // Gate acquires that beat the prefetcher (loaded synchronously).
+  uint64_t revoked = 0;  // Ready chunks dropped to refund budget to a starved worker.
+  uint64_t bytes = 0;    // Payload bytes fetched ahead of the workers.
+};
+
+class ChunkPrefetcher {
+ public:
+  // `order`: the pool dispatch order (pointers into the plan, which must outlive the
+  // prefetcher). `journal`: optional; tasks it can replay never reach the gate, so the
+  // walk skips them. `depth` must be > 0 (callers gate on ResolvePrefetchDepth).
+  ChunkPrefetcher(PrefetchableLoader* loader, ChunkBudget* budget,
+                  std::vector<const AuditTask*> order, size_t depth,
+                  AuditTaskJournal* journal);
+  ~ChunkPrefetcher();  // Stops and drains if Stop() was not called.
+  ChunkPrefetcher(const ChunkPrefetcher&) = delete;
+  ChunkPrefetcher& operator=(const ChunkPrefetcher&) = delete;
+
+  void Start();
+  // Joins the I/O thread and drops every fetched-but-unclaimed chunk, refunding its
+  // budget. Must be called (or the destructor run) before the budget is reused by pass 3.
+  void Stop();
+
+  // The gate's Acquire handshake for `task_order`:
+  //   kAdopted       — the chunk is resident and its budget charge now belongs to the
+  //                    caller (release it at gate Release exactly as a sync admission).
+  //   kFailed        — the prefetch load failed; *status has the error, the budget is
+  //                    already refunded. Surface it as this task's gate failure.
+  //   kNotPrefetched — the walk has not fetched this chunk (not reached, ceded, or
+  //                    revoked); load synchronously via AcquireBudgetRevoking.
+  // Blocks only while this exact chunk is mid-fetch (the wait is bounded by that one
+  // I/O, and is counted into the hit-latency histogram).
+  enum class TakeResult { kAdopted, kFailed, kNotPrefetched };
+  TakeResult Take(size_t task_order, Status* status);
+
+  // Budget acquire for a worker loading a non-prefetched chunk: TryAcquire, revoking
+  // ready-but-unclaimed prefetched chunks (farthest-ahead first) instead of sleeping
+  // behind them, and otherwise waiting for the next progress bump.
+  void AcquireBudgetRevoking(uint64_t bytes);
+
+  // Gate Release (and every other budget release on the worker side) must call this so
+  // budget waiters — the walk and AcquireBudgetRevoking — re-try.
+  void NotifyProgress();
+
+  PrefetchStats stats() const;
+
+ private:
+  enum class SlotState : uint8_t {
+    kPending,   // Walk not there yet.
+    kFetching,  // I/O thread is admitting/loading it.
+    kReady,     // Resident, budget charged, waiting for its worker.
+    kTaken,     // Adopted by its worker.
+    kCeded,     // Worker claimed it before the walk arrived; walk skips it.
+    kRevoked,   // Dropped to refund budget; its worker reloads synchronously.
+    kFailed,    // Load failed; status stored, budget refunded.
+  };
+  struct Slot {
+    const AuditTask* task;
+    SlotState state = SlotState::kPending;
+    uint64_t bytes = 0;
+    Status status = Status::Ok();
+  };
+
+  void ThreadMain();
+  // Drops the highest-position kReady slot under mu_ (eviction included, so a cede/sync
+  // reload of the same chunk can never race the drop). Caller guarantees non-empty.
+  void DropReadySlotLocked();
+  // DropReadySlotLocked + revocation accounting. Returns false if nothing is kReady.
+  bool RevokeOneLocked(std::unique_lock<std::mutex>& lock);
+  void BumpProgressLocked() { progress_gen_++; }
+
+  PrefetchableLoader* const loader_;
+  ChunkBudget* const budget_;
+  const std::vector<const AuditTask*> order_;
+  const size_t depth_;
+  AuditTaskJournal* const journal_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;                         // Parallel to order_.
+  std::unordered_map<size_t, size_t> by_order_;     // task.order -> slot index.
+  std::vector<size_t> ready_;                       // Ascending slot indexes, kReady only.
+  size_t outstanding_ = 0;                          // Slots in {kFetching, kReady}.
+  uint64_t progress_gen_ = 0;  // Bumped on completion/adoption/revocation/gate release.
+  bool stop_ = false;
+  bool started_ = false;
+  PrefetchStats stats_;
+  std::thread thread_;
+};
+
+}  // namespace orochi
+
+#endif  // SRC_STREAM_PREFETCH_H_

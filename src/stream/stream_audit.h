@@ -8,6 +8,7 @@
 
 #include "src/core/audit_session.h"
 #include "src/stream/chunk_loader.h"
+#include "src/stream/prefetch.h"
 #include "src/stream/reports_index.h"
 #include "src/stream/shard_merge.h"
 #include "src/stream/trace_index.h"
@@ -26,6 +27,10 @@ struct StreamAuditHooks {
   // governs trace payloads AND op-log contents. Not owned; lets a bench read peak_bytes()
   // after the audit returns.
   ChunkBudget* budget = nullptr;
+  // When non-null, receives the pass-2 prefetch pipeline's final counters after the
+  // audit returns (all zero when read-ahead resolved to depth 0 or the plan had no pool
+  // tasks). Not owned.
+  PrefetchStats* prefetch_stats = nullptr;
 };
 
 }  // namespace orochi

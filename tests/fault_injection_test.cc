@@ -388,6 +388,10 @@ TEST(FaultInjection, ResumeAfterMidCompareKillIsBitIdentical) {
     opts.max_group_size = 8;
     opts.max_resident_bytes = 4096;
     opts.checkpoint_path = checkpoint;
+    // Read-ahead off: this test's kill point is load-count arithmetic, and a revoked
+    // prefetched chunk is legitimately loaded twice. Kill/resume parity WITH read-ahead
+    // is covered by FaultInjection.ResumeWithPrefetchOnIsBitIdentical.
+    opts.prefetch_depth = 0;
 
     // Run 1: killed mid-pass-3. Pass 2 loads each of the 160 request payloads exactly
     // once; allowing 200 loads retires all of pass 2 (journaling every chunk) and dies
@@ -421,6 +425,154 @@ TEST(FaultInjection, ResumeAfterMidCompareKillIsBitIdentical) {
     Result<bool> spent = Env::Default()->FileExists(checkpoint);
     EXPECT_TRUE(spent.ok() && !spent.value());
   }
+}
+
+// PR-10 twin of the mid-pass-2 kill test, with the read-ahead pipeline ON. The kill-point
+// arithmetic is looser here — a revoked prefetched chunk is legitimately loaded twice, so
+// 120 allowed loads of the 160 payloads only guarantees "killed somewhere inside pass 2
+// with at least one chunk retired" — but that is exactly the property under test: a crash
+// while the prefetcher holds in-flight and ready-but-unclaimed chunks must leave a
+// checkpoint that a prefetch-enabled resume replays to a bit-identical verdict.
+TEST(FaultInjection, ResumeWithPrefetchOnIsBitIdentical) {
+  Workload w = CounterWorkload(160);
+  ServedWorkload served = ServeWorkload(w);
+  const std::string trace_path = ::testing::TempDir() + "/fi_pf_trace.bin";
+  const std::string reports_path = ::testing::TempDir() + "/fi_pf_reports.bin";
+  ASSERT_TRUE(WriteTraceFile(trace_path, served.trace).ok());
+  ASSERT_TRUE(WriteReportsFile(reports_path, served.reports).ok());
+
+  AuditOptions ref_opts;
+  ref_opts.num_threads = 1;
+  ref_opts.max_group_size = 8;
+  AuditSession ref_session = AuditSession::Open(&w.app, ref_opts, served.initial);
+  Result<AuditResult> ref = ref_session.FeedEpochFiles(trace_path, reports_path);
+  ASSERT_TRUE(ref.ok() && ref.value().accepted)
+      << (ref.ok() ? ref.value().reason : ref.error());
+  const std::string ref_fp = InitialStateFingerprint(ref.value().final_state);
+
+  for (size_t threads : {size_t{1}, size_t{2}}) {
+    for (size_t budget : {size_t{64}, size_t{4096}, size_t{0}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " budget=" + std::to_string(budget));
+      const std::string checkpoint = ::testing::TempDir() + "/fi_pf_" +
+                                     std::to_string(threads) + "_" +
+                                     std::to_string(budget) + ".ckpt";
+      AuditOptions opts;
+      opts.num_threads = threads;
+      opts.max_group_size = 8;
+      opts.max_resident_bytes = budget;
+      opts.checkpoint_path = checkpoint;
+      opts.prefetch_depth = 4;
+
+      // Run 1: killed inside pass 2 — completion needs every payload loaded at least
+      // once, so 120 < 160 always dies early, prefetched double-loads only sooner.
+      StreamTraceSet probe;
+      ASSERT_TRUE(probe.AppendFile(trace_path).ok());
+      KillSwitchLoader killer(&probe, /*allowed=*/120);
+      StreamAuditHooks hooks;
+      hooks.loader = &killer;
+      AuditSession first = AuditSession::Open(&w.app, opts, served.initial);
+      Result<AuditResult> killed =
+          first.FeedEpochFilesStreamed(trace_path, reports_path, &hooks);
+      ASSERT_FALSE(killed.ok());
+      EXPECT_EQ(ClassifyAuditOutcome(killed), AuditOutcome::kIoError) << killed.error();
+      Result<bool> left = Env::Default()->FileExists(checkpoint);
+      ASSERT_TRUE(left.ok() && left.value());
+
+      // Run 2: clean resume, read-ahead still on. Journaled chunks replay without
+      // touching the gate (the walk cedes them), the rest flow through the live
+      // pipeline, and the verdict is bit-identical to the uninterrupted reference.
+      PrefetchStats stats;
+      StreamAuditHooks resume_hooks;
+      resume_hooks.prefetch_stats = &stats;
+      AuditSession resumed = AuditSession::Open(&w.app, opts, served.initial);
+      Result<AuditResult> got =
+          resumed.FeedEpochFilesStreamed(trace_path, reports_path, &resume_hooks);
+      ASSERT_TRUE(got.ok()) << got.error();
+      EXPECT_TRUE(got.value().accepted) << got.value().reason;
+      EXPECT_EQ(got.value().reason, ref.value().reason);
+      EXPECT_EQ(InitialStateFingerprint(got.value().final_state), ref_fp);
+      EXPECT_GT(got.value().stats.checkpoint_chunks_reused, 0u);
+      // The kill landed before pass 2 finished, so the resume had live chunks to run —
+      // and ran them through the pipeline (every gate acquire is a hit or a miss).
+      EXPECT_GT(stats.hits + stats.misses, 0u);
+      Result<bool> spent = Env::Default()->FileExists(checkpoint);
+      EXPECT_TRUE(spent.ok() && !spent.value());
+    }
+  }
+}
+
+// Seeded-EIO sweep with the read-ahead pipeline forced on: injected read faults now also
+// land on the prefetch thread's preads. The taxonomy must hold regardless of which
+// thread's read draws the fault — absorbable faults stay invisible, hard faults surface
+// as I/O errors attributed to a file (never as tampering), and an accept still
+// reproduces the true final state.
+TEST(FaultInjection, SeededEioDuringPrefetchKeepsTheOutcomeTaxonomy) {
+  const uint64_t base_seed = TestBaseSeed(0xFA10);
+  SCOPED_TRACE(SeedTraceMessage(base_seed));
+  Workload w = CounterWorkload(64);
+  ServedWorkload served = ServeWorkload(w);
+  const std::string truth = InitialStateFingerprint(served.final_state);
+  const std::string trace_path = ::testing::TempDir() + "/fi_pf_sweep_trace.bin";
+  const std::string reports_path = ::testing::TempDir() + "/fi_pf_sweep_reports.bin";
+  // Spill once with the default env: every schedule below audits the same clean files.
+  ASSERT_TRUE(WriteTraceFile(trace_path, served.trace).ok());
+  ASSERT_TRUE(WriteReportsFile(reports_path, served.reports).ok());
+
+  constexpr int kSchedules = 90;
+  int accepted = 0;
+  int io_errors = 0;
+  uint64_t faults_fired = 0;
+  for (int s = 0; s < kSchedules; s++) {
+    FaultOptions fo;
+    fo.seed = base_seed + static_cast<uint64_t>(s);
+    fo.p_read_transient = 0.02;
+    fo.p_short_read = 0.10;
+    const bool absorbable_only = (s % 3 == 0);
+    if (!absorbable_only) {
+      fo.p_read_error = 0.004;
+    }
+    FaultInjectingEnv env(nullptr, fo);
+
+    AuditOptions opts;
+    opts.num_threads = 2;
+    opts.max_group_size = 8;
+    opts.max_resident_bytes = 2048;
+    opts.prefetch_depth = 3;
+    opts.io_env = &env;
+    AuditSession session = AuditSession::Open(&w.app, opts, served.initial);
+    Result<AuditResult> r = session.FeedEpochFilesStreamed(trace_path, reports_path);
+    faults_fired += env.faults_injected();
+    switch (ClassifyAuditOutcome(r)) {
+      case AuditOutcome::kAccepted:
+        accepted++;
+        EXPECT_EQ(InitialStateFingerprint(r.value().final_state), truth)
+            << "schedule " << s;
+        break;
+      case AuditOutcome::kIoError: {
+        EXPECT_FALSE(absorbable_only)
+            << "schedule " << s << " surfaced an absorbable fault: " << r.error();
+        io_errors++;
+        AuditIoError info = ParseAuditIoError(r.error());
+        EXPECT_FALSE(info.detail.empty());
+        // A failed audit consumes nothing: the epoch can be retried.
+        EXPECT_EQ(session.epochs_fed(), 0u);
+        break;
+      }
+      case AuditOutcome::kRejected:
+        ADD_FAILURE() << "schedule " << s
+                      << " misreported an injected I/O fault as tampering: "
+                      << r.value().reason;
+        break;
+      case AuditOutcome::kConfigError:
+        ADD_FAILURE() << "schedule " << s << " misclassified as config error: "
+                      << r.error();
+        break;
+    }
+  }
+  EXPECT_GE(accepted, kSchedules / 3) << "absorbable-only schedules must all accept";
+  EXPECT_GT(io_errors, 0);
+  EXPECT_GT(faults_fired, 0u);
 }
 
 TEST(FaultInjection, StaleCheckpointFromDifferentEpochIsIgnored) {
